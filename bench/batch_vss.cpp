@@ -1,0 +1,87 @@
+// Experiment E5 (Lemma 4, Corollary 1): Batch-VSS amortized cost.
+//
+// Paper claims: verifying M secrets costs 2 interpolations and 2 rounds
+// of n messages *total*; "the amortized computation required to verify a
+// secret is 2k log k per player, and the amortized communication is
+// O(1)."
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "dprbg/trusted_dealer.h"
+#include "gf/gf2.h"
+#include "net/cluster.h"
+#include "vss/batch_vss.h"
+
+namespace dprbg {
+namespace {
+
+using F = GF2_64;
+using bench::fmt;
+
+struct Row {
+  unsigned m;
+  FieldCounters verify_ops;  // per player, verification phase only
+  CommCounters comm;
+  double wall_ms;
+};
+
+Row measure(int n, int t, unsigned m, std::uint64_t seed) {
+  auto coins = trusted_dealer_coins<F>(n, t, 1, seed);
+  Chacha dealer_rng(seed, 777);
+  std::vector<Polynomial<F>> polys;
+  for (unsigned j = 0; j < m; ++j) {
+    polys.push_back(Polynomial<F>::random(t, dealer_rng));
+  }
+  Cluster cluster(n, t, seed);
+  const auto start = std::chrono::steady_clock::now();
+  cluster.run(std::vector<Cluster::Program>(n, [&](PartyIo& io) {
+    std::span<const Polynomial<F>> mine;
+    if (io.id() == 0) mine = polys;
+    (void)batch_vss<F>(io, 0, t, m, mine, coins[io.id()][0]);
+  }));
+  const auto stop = std::chrono::steady_clock::now();
+  Row row{m, {}, cluster.comm(), 0};
+  row.wall_ms =
+      std::chrono::duration<double, std::milli>(stop - start).count();
+  // Player 1 (non-dealer) is the representative verifier.
+  row.verify_ops = cluster.per_player_field_ops()[1];
+  return row;
+}
+
+}  // namespace
+}  // namespace dprbg
+
+int main() {
+  using namespace dprbg;
+  using namespace dprbg::bench;
+  print_header(
+      "E5: Batch-VSS amortized verification cost (Fig. 3)",
+      "2 interpolations and O(n) messages for the WHOLE batch; amortized "
+      "~2k log k additions and O(1) messages per secret (Lemma 4, Cor. 1)");
+
+  for (int n : {7, 13}) {
+    const int t = (n - 1) / 3;
+    std::printf("n=%d t=%d, field GF(2^64)\n", n, t);
+    Table table({"M", "interp/player", "adds/player", "muls/player",
+                 "adds/secret", "msgs", "msgs/secret", "bytes", "ms"});
+    for (unsigned m : {1u, 4u, 16u, 64u, 256u, 1024u, 4096u}) {
+      const auto row = measure(n, t, m, 7000 + m + n);
+      table.row({fmt(m), fmt(row.verify_ops.interpolations),
+                 fmt(row.verify_ops.adds), fmt(row.verify_ops.muls),
+                 fmt(double(row.verify_ops.adds) / m),
+                 fmt(row.comm.messages),
+                 fmt(double(row.comm.messages) / m), fmt(row.comm.bytes),
+                 fmt(row.wall_ms)});
+    }
+    table.print();
+    std::printf("\n");
+  }
+  std::printf(
+      "shape check: interpolations stay at 2 and messages constant while "
+      "M grows 4096x; per-secret cost collapses toward the Horner "
+      "combination alone.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Shared table-printing helpers for the experiment harnesses.
+//
+// Every experiment binary prints (a) the paper's claim for the quantity
+// it reproduces and (b) a fixed-width table of measured rows, so
+// EXPERIMENTS.md can quote the output directly.
+
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dprbg::bench {
+
+inline void print_header(const std::string& experiment,
+                         const std::string& claim) {
+  std::printf("\n=== %s ===\n", experiment.c_str());
+  std::printf("paper claim: %s\n\n", claim.c_str());
+}
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  void row(const std::vector<std::string>& cells) { rows_.push_back(cells); }
+
+  void print() const {
+    std::vector<std::size_t> width(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      width[c] = columns_[c].size();
+      for (const auto& r : rows_) {
+        if (c < r.size()) width[c] = std::max(width[c], r[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < columns_.size(); ++c) {
+        std::printf("%-*s  ", static_cast<int>(width[c]),
+                    c < cells.size() ? cells[c].c_str() : "");
+      }
+      std::printf("\n");
+    };
+    print_row(columns_);
+    std::string rule;
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      rule += std::string(width[c], '-') + "  ";
+    }
+    std::printf("%s\n", rule.c_str());
+    for (const auto& r : rows_) print_row(r);
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v) {
+  char buf[64];
+  if (v != 0 && (v < 0.01 || v >= 1e7)) {
+    std::snprintf(buf, sizeof(buf), "%.3g", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f", v);
+  }
+  return buf;
+}
+
+// Any integer type (size_t/uint64_t/int/unsigned collapse here; the
+// double overload above wins only for floating-point arguments).
+template <typename T>
+  requires std::is_integral_v<T>
+std::string fmt(T v) {
+  return std::to_string(v);
+}
+
+}  // namespace dprbg::bench

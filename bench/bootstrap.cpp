@@ -1,0 +1,104 @@
+// Experiment E11 (Fig. 1, Section 1.2): bootstrapping self-sufficiency.
+//
+// Paper claims: "An initial distributed seed is generated via some known,
+// not necessarily fast protocol. Then the generator is run to produce as
+// many coins as the current execution of the application needs, plus
+// another (distributed) seed. ... the services of a trusted dealer would
+// be used only once, and for a small number of coins. In contrast ... the
+// approach of [17] requires the dealer to continuously provide them."
+//
+// The harness runs 50 application epochs, each consuming a burst of
+// coins, under (a) the bootstrapped D-PRBG and (b) the Rabin-style
+// continuous dealer, reporting dealer visits and pool dynamics.
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "baseline/dealer_stream.h"
+#include "dprbg/dprbg.h"
+#include "dprbg/trusted_dealer.h"
+#include "gf/gf2.h"
+#include "net/cluster.h"
+
+namespace dprbg {
+namespace {
+
+using F = GF2_64;
+using bench::fmt;
+
+}  // namespace
+}  // namespace dprbg
+
+int main() {
+  using namespace dprbg;
+  using namespace dprbg::bench;
+  print_header(
+      "E11: bootstrap self-sufficiency over repeated executions (Fig. 1)",
+      "trusted dealer used ONCE for O(1) coins; thereafter every Coin-Gen "
+      "run mints the next seed along with the application's coins");
+
+  const int n = 7, t = 1;
+  const int kEpochs = 50;
+  const int kCoinsPerEpoch = 10;
+
+  // Bootstrapped D-PRBG.
+  {
+    auto genesis = trusted_dealer_coins<F>(n, t, 8, 1);
+    Cluster cluster(n, t, 1);
+    Table table({"epoch", "coins drawn", "pool after", "refills so far",
+                 "seed spent refilling", "dealer visits"});
+    std::vector<std::array<std::uint64_t, 4>> stats(kEpochs);
+    const auto start = std::chrono::steady_clock::now();
+    cluster.run(std::vector<Cluster::Program>(n, [&](PartyIo& io) {
+      DPrbg<F>::Options opts;
+      opts.batch_size = 32;
+      opts.reserve = 5;
+      DPrbg<F> prbg(opts, genesis[io.id()]);
+      for (int e = 0; e < kEpochs; ++e) {
+        for (int c = 0; c < kCoinsPerEpoch; ++c) (void)prbg.next_coin(io);
+        if (io.id() == 0) {
+          stats[e] = {prbg.coins_drawn(), prbg.pool_remaining(),
+                      prbg.refills(), prbg.seed_coins_spent_refilling()};
+        }
+      }
+    }));
+    const auto stop = std::chrono::steady_clock::now();
+    for (int e = 0; e < kEpochs; e += 7) {
+      table.row({fmt(e + 1), fmt(stats[e][0]), fmt(stats[e][1]),
+                 fmt(stats[e][2]), fmt(stats[e][3]), "1 (genesis only)"});
+    }
+    table.row({fmt(kEpochs), fmt(stats[kEpochs - 1][0]),
+               fmt(stats[kEpochs - 1][1]), fmt(stats[kEpochs - 1][2]),
+               fmt(stats[kEpochs - 1][3]), "1 (genesis only)"});
+    std::printf("bootstrapped D-PRBG (batch M=32, reserve 5):\n");
+    table.print();
+    std::printf("total: %d coins in %.1f ms; dealer visited once, for 8 "
+                "coins.\n\n",
+                kEpochs * kCoinsPerEpoch,
+                std::chrono::duration<double, std::milli>(stop - start)
+                    .count());
+  }
+
+  // Rabin-style continuous dealer.
+  {
+    Cluster cluster(n, t, 2);
+    std::uint64_t visits = 0;
+    cluster.run(std::vector<Cluster::Program>(n, [&](PartyIo& io) {
+      DealerStream<F> dealer(n, t, io.id(), /*provision=*/8, 999);
+      for (int e = 0; e < kEpochs; ++e) {
+        for (int c = 0; c < kCoinsPerEpoch; ++c) (void)dealer.next_coin(io);
+      }
+      if (io.id() == 0) visits = dealer.dealer_visits();
+    }));
+    std::printf("Rabin [17] continuous dealer (8 coins per visit): %llu "
+                "dealer visits for the same %d coins.\n",
+                static_cast<unsigned long long>(visits),
+                kEpochs * kCoinsPerEpoch);
+  }
+  std::printf(
+      "\nshape check: the D-PRBG's dealer count is 1 and flat; the "
+      "baseline's grows linearly with consumption.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Experiments E2, E4, E13 (Lemmas 1, 3, 5): measured soundness error of
+// an optimal cheating dealer vs the paper's bounds, over GF(2^8) where
+// the probabilities are large enough to estimate.
+//
+// Paper claims:
+//  * Lemma 1: Protocol VSS accepts an invalid sharing with probability at
+//    most 1/p.
+//  * Lemma 3: Protocol Batch-VSS accepts a batch containing an over-degree
+//    polynomial with probability at most M/p.
+//  * Lemma 5: Bit-Gen (no broadcast, t faulty echoes) accepts with
+//    probability at most M/p.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "gf/gf2.h"
+#include "vss/soundness.h"
+
+int main() {
+  using namespace dprbg;
+  using namespace dprbg::bench;
+  using F8 = GF2_8;
+  constexpr double kP = 256.0;
+  constexpr std::uint64_t kTrials = 200000;
+
+  print_header("E2: Lemma 1 — VSS soundness (GF(2^8), p=256)",
+               "acceptance probability of an optimal cheating dealer "
+               "<= 1/p = 0.003906");
+  {
+    Table table({"n", "t", "trials", "accepts", "measured", "bound 1/p"});
+    for (int t : {1, 2, 4}) {
+      const int n = 3 * t + 1;
+      const auto r = vss_soundness_trials<F8>(n, t, kTrials, 100 + t);
+      table.row({fmt(n), fmt(t), fmt(r.trials), fmt(r.accepts),
+                 fmt(r.rate()), fmt(1.0 / kP)});
+    }
+    table.print();
+  }
+
+  print_header("E4: Lemma 3 — Batch-VSS soundness",
+               "acceptance probability <= M/p");
+  {
+    Table table({"M", "trials", "accepts", "measured", "bound M/p"});
+    for (unsigned m : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+      const auto r = batch_soundness_trials<F8>(7, 2, m, kTrials, 200 + m);
+      table.row({fmt(m), fmt(r.trials), fmt(r.accepts), fmt(r.rate()),
+                 fmt(double(m) / kP)});
+    }
+    table.print();
+  }
+
+  print_header("E13: Lemma 5 — Bit-Gen soundness (broadcast-free, t "
+               "garbage echoes)",
+               "acceptance probability <= M/p");
+  {
+    Table table({"n", "t", "M", "trials", "accepts", "measured",
+                 "bound M/p"});
+    for (unsigned m : {1u, 4u, 16u}) {
+      const auto r = bitgen_soundness_trials<F8>(13, 2, m, kTrials / 2,
+                                                 300 + m);
+      table.row({fmt(13), fmt(2), fmt(m), fmt(r.trials), fmt(r.accepts),
+                 fmt(r.rate()), fmt(double(m) / kP)});
+    }
+    table.print();
+  }
+
+  std::printf(
+      "\nshape check: measured rates track the bounds (the dealer "
+      "strategies meet the lemmas with equality, so measured ~= bound; "
+      "never above beyond sampling noise).\n");
+  return 0;
+}

@@ -1,0 +1,207 @@
+// Experiment E1 (Section 2, "Model"): field arithmetic strategies.
+//
+// Paper claims reproduced here:
+//  * naive multiplication in GF(2^k) takes O(k^2) steps;
+//  * the special field GF(q^l) multiplies in O(k log k) via NTT;
+//  * "in practice, when k is small, working over GF(2^k) with the naive
+//    O(k^2) multiplication is faster than working over our special field
+//    with the O(k log k) multiplication, because of the sizes of the
+//    constants involved. So an implementation should be careful about
+//    which method it uses."
+//
+// Google-benchmark microbenchmarks for each strategy, plus a summary
+// table locating the crossover.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <vector>
+
+#include "bench_util.h"
+#include "gf/fft_field.h"
+#include "gf/gf2.h"
+#include "poly/interpolate.h"
+#include "rng/chacha.h"
+
+namespace dprbg {
+namespace {
+
+template <typename F>
+void BM_Gf2Mul(benchmark::State& state) {
+  Chacha rng(1);
+  std::vector<F> xs, ys;
+  for (int i = 0; i < 256; ++i) {
+    xs.push_back(random_nonzero<F>(rng));
+    ys.push_back(random_nonzero<F>(rng));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xs[i & 255] * ys[(i + 7) & 255]);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Gf2Mul<GF2_8>)->Name("gf2_mul/k=8_table");
+BENCHMARK(BM_Gf2Mul<GF2_16>)->Name("gf2_mul/k=16_table");
+BENCHMARK(BM_Gf2Mul<GF2_32>)->Name("gf2_mul/k=32_naive");
+BENCHMARK(BM_Gf2Mul<GF2_64>)->Name("gf2_mul/k=64_naive");
+
+void BM_FftFieldMul(benchmark::State& state) {
+  const unsigned l = static_cast<unsigned>(state.range(0));
+  const bool use_ntt = state.range(1) != 0;
+  const FftField field(l);
+  Chacha rng(2);
+  std::vector<FftElem> xs, ys;
+  for (int i = 0; i < 64; ++i) {
+    std::uint32_t words[FftElem::kMaxL];
+    for (unsigned w = 0; w < l; ++w) words[w] = rng.next_u32();
+    xs.push_back(field.from_words(words));
+    for (unsigned w = 0; w < l; ++w) words[w] = rng.next_u32();
+    ys.push_back(field.from_words(words));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(use_ntt
+                                 ? field.mul(xs[i & 63], ys[(i + 3) & 63])
+                                 : field.mul_naive(xs[i & 63], ys[(i + 3) & 63]));
+    ++i;
+  }
+  state.SetLabel("k~" + std::to_string(static_cast<int>(field.bits())) +
+                 " q=" + std::to_string(field.q()));
+}
+BENCHMARK(BM_FftFieldMul)
+    ->Name("fft_field_mul")
+    ->ArgNames({"l", "ntt"})
+    ->Args({4, 1})
+    ->Args({4, 0})
+    ->Args({8, 1})
+    ->Args({8, 0})
+    ->Args({16, 1})
+    ->Args({16, 0})
+    ->Args({32, 1})
+    ->Args({32, 0})
+    ->Args({64, 1})
+    ->Args({64, 0})
+    ->Args({128, 1})
+    ->Args({128, 0})
+    ->Args({256, 1})
+    ->Args({256, 0});
+
+template <typename F>
+void BM_Gf2Inverse(benchmark::State& state) {
+  Chacha rng(3);
+  std::vector<F> xs;
+  for (int i = 0; i < 256; ++i) xs.push_back(random_nonzero<F>(rng));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xs[i & 255].inv());
+    ++i;
+  }
+}
+BENCHMARK(BM_Gf2Inverse<GF2_16>)->Name("gf2_inv/k=16_table");
+BENCHMARK(BM_Gf2Inverse<GF2_64>)->Name("gf2_inv/k=64_fermat");
+
+template <typename F>
+void BM_Interpolation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Chacha rng(4);
+  const auto poly = Polynomial<F>::random((n - 1) / 3, rng);
+  std::vector<PointValue<F>> pts;
+  for (int i = 1; i <= n; ++i) {
+    pts.push_back({F::from_uint(i), poly(F::from_uint(i))});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lagrange_interpolate<F>(pts));
+  }
+}
+BENCHMARK(BM_Interpolation<GF2_64>)
+    ->Name("interpolation/k=64")
+    ->Arg(4)
+    ->Arg(7)
+    ->Arg(13)
+    ->Arg(25)
+    ->Arg(49);
+
+}  // namespace
+}  // namespace dprbg
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // Crossover summary (the paper's "an implementation should be careful
+  // about which method it uses"): compare ~equal-k configurations by a
+  // quick direct timing.
+  using namespace dprbg;
+  using namespace dprbg::bench;
+  print_header("E1: GF(2^k) naive vs GF(q^l) NTT multiplication",
+               "naive O(k^2) wins for small k; NTT O(k log k) wins "
+               "asymptotically (Section 2)");
+  Table table({"k(approx)", "gf2_ns/op", "ntt_ns/op", "ntt_naive_ns/op",
+               "winner"});
+  Chacha rng(7);
+  auto time_gf2 = [&](auto sample, int iters) {
+    using F = decltype(sample);
+    std::vector<F> xs;
+    for (int i = 0; i < 64; ++i) xs.push_back(random_nonzero<F>(rng));
+    const auto start = std::chrono::steady_clock::now();
+    F acc = F::one();
+    for (int i = 0; i < iters; ++i) acc = acc * xs[i & 63];
+    benchmark::DoNotOptimize(acc);
+    const auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::nano>(stop - start).count() /
+           iters;
+  };
+  auto time_fft = [&](const FftField& f, bool ntt, int iters) {
+    std::vector<FftElem> xs;
+    for (int i = 0; i < 64; ++i) {
+      std::uint32_t words[FftElem::kMaxL];
+      for (unsigned w = 0; w < f.l(); ++w) words[w] = rng.next_u32();
+      xs.push_back(f.from_words(words));
+    }
+    FftElem acc = f.one();
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) {
+      acc = ntt ? f.mul(acc, xs[i & 63]) : f.mul_naive(acc, xs[i & 63]);
+    }
+    benchmark::DoNotOptimize(acc);
+    const auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::nano>(stop - start).count() /
+           iters;
+  };
+  constexpr int kIters = 200000;
+  {
+    const double g8 = time_gf2(GF2_8::one(), kIters);
+    const FftField f(4);
+    const double ntt = time_fft(f, true, kIters / 4);
+    const double nv = time_fft(f, false, kIters / 4);
+    table.row({"8", fmt(g8), fmt(ntt), fmt(nv),
+               g8 < std::min(ntt, nv) ? "gf2 naive/table" : "special field"});
+  }
+  {
+    const double g16 = time_gf2(GF2_16::one(), kIters);
+    const FftField f(8);
+    const double ntt = time_fft(f, true, kIters / 8);
+    const double nv = time_fft(f, false, kIters / 8);
+    table.row({"16", fmt(g16), fmt(ntt), fmt(nv),
+               g16 < std::min(ntt, nv) ? "gf2 naive/table" : "special field"});
+  }
+  {
+    const double g64 = time_gf2(GF2_64::one(), kIters);
+    const FftField f(16);
+    const double ntt = time_fft(f, true, kIters / 8);
+    const double nv = time_fft(f, false, kIters / 8);
+    table.row({"64", fmt(g64), fmt(ntt), fmt(nv),
+               g64 < std::min(ntt, nv) ? "gf2 naive/table" : "special field"});
+  }
+  for (unsigned l : {64u, 128u, 256u}) {
+    const FftField f(l);  // k ~ l * log2(q) >> 64: the large-k regime
+    const double ntt = time_fft(f, true, kIters / (2 * l));
+    const double nv = time_fft(f, false, kIters / (2 * l));
+    table.row({std::to_string(static_cast<int>(f.bits())), "n/a", fmt(ntt),
+               fmt(nv), ntt < nv ? "NTT" : "schoolbook"});
+  }
+  table.print();
+  return 0;
+}

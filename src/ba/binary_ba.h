@@ -1,0 +1,24 @@
+// The binary-agreement extension point shared by protocols that "run any
+// BA protocol" (Coin-Gen step 10, the Turpin-Coan reduction): callers
+// pick the deterministic Phase-King (default) or a coin-driven randomized
+// BA, and the paper's accounting remark applies ("If a randomized BA
+// protocol is used, then the coins needed by the BA protocol must be
+// taken into consideration when setting the level of coins needed for
+// the bootstrapping mechanism", Section 1.2).
+
+#pragma once
+
+#include <functional>
+
+#include "ba/phase_king.h"
+#include "net/cluster.h"
+
+namespace dprbg {
+
+using BinaryBa = std::function<int(PartyIo&, int input, unsigned instance)>;
+
+inline int default_binary_ba(PartyIo& io, int input, unsigned instance) {
+  return phase_king_ba(io, input, instance);
+}
+
+}  // namespace dprbg

@@ -1,0 +1,118 @@
+// Multivalued Byzantine agreement (Turpin-Coan reduction) and reliable
+// broadcast built from it.
+//
+// The paper's motivation chain runs: shared coins -> (randomized) BA ->
+// broadcast ("Coins are often used as a source of randomness to execute
+// Byzantine agreement, and hence implement a broadcast channel",
+// Section 4). This file completes that chain as a substrate: arbitrary
+// byte-string agreement from binary agreement (n > 3t), and a broadcast
+// primitive where a designated sender's value is agreed upon by all.
+//
+// Turpin-Coan (2 extra rounds + one binary BA):
+//   Round 1: send own value; a value seen >= n-t times becomes the
+//            player's "proper" candidate (at most one exists).
+//   Round 2: send the candidate; let x* be the most frequent non-empty
+//            candidate received. Vote 1 in binary BA iff x* was seen
+//            >= n-t times.
+//   If BA decides 1, output x* (all honest players' x* coincide: a
+//   1-vote implies >= n-2t >= t+1 honest supporters of x*, and two
+//   distinct proper candidates are impossible for n > 3t); otherwise
+//   output the fallback value.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "ba/binary_ba.h"
+#include "common/check.h"
+#include "net/cluster.h"
+#include "net/msg.h"
+
+namespace dprbg {
+
+struct MultivaluedResult {
+  std::vector<std::uint8_t> value;  // agreed value, or the fallback
+  bool from_inputs = false;         // true iff BA accepted a proper value
+};
+
+inline MultivaluedResult multivalued_ba(
+    PartyIo& io, const std::vector<std::uint8_t>& my_value,
+    const std::vector<std::uint8_t>& fallback = {}, unsigned instance = 0,
+    const BinaryBa& binary = default_binary_ba,
+    std::size_t max_value_size = 1u << 20) {
+  const int n = io.n();
+  const int t = io.t();
+  DPRBG_CHECK(n > 3 * t);
+  const std::uint32_t r1 = make_tag(ProtoId::kRandomizedBa, instance, 40);
+  const std::uint32_t r2 = make_tag(ProtoId::kRandomizedBa, instance, 41);
+
+  // Round 1: exchange values; find the (unique) proper candidate.
+  io.send_all(r1, my_value);
+  const Inbox& in1 = io.sync();
+  std::map<std::vector<std::uint8_t>, int> counts;
+  for (const Msg* m : in1.with_tag(r1)) {
+    if (m->body.size() <= max_value_size) ++counts[m->body];
+  }
+  std::optional<std::vector<std::uint8_t>> proper;
+  for (const auto& [value, count] : counts) {
+    if (count >= n - t) {
+      proper = value;
+      break;  // at most one value reaches n - t for n > 3t
+    }
+  }
+
+  // Round 2: exchange candidates (empty message = no candidate; an empty
+  // *value* is legal, so presence is flagged with a leading byte).
+  {
+    std::vector<std::uint8_t> body;
+    body.push_back(proper.has_value() ? 1 : 0);
+    if (proper && !proper->empty()) {
+      body.insert(body.end(), proper->begin(), proper->end());
+    }
+    io.send_all(r2, body);
+  }
+  const Inbox& in2 = io.sync();
+  std::map<std::vector<std::uint8_t>, int> candidates;
+  for (const Msg* m : in2.with_tag(r2)) {
+    if (m->body.empty() || m->body.size() > max_value_size + 1) continue;
+    if (m->body[0] != 1) continue;
+    candidates[{m->body.begin() + 1, m->body.end()}]++;
+  }
+  const std::pair<const std::vector<std::uint8_t>, int>* best = nullptr;
+  for (const auto& entry : candidates) {
+    if (best == nullptr || entry.second > best->second) best = &entry;
+  }
+
+  const int vote = (best != nullptr && best->second >= n - t) ? 1 : 0;
+  const int decision = binary(io, vote, instance);
+
+  MultivaluedResult out;
+  if (decision == 1 && best != nullptr && best->second >= t + 1) {
+    out.value = best->first;
+    out.from_inputs = true;
+  } else {
+    out.value = fallback;
+  }
+  return out;
+}
+
+// Reliable broadcast from multivalued BA: the sender distributes its
+// value, then everyone agrees on what was received. If the sender is
+// honest every player outputs its value; a faulty sender still cannot
+// make honest players output different values.
+inline MultivaluedResult broadcast_via_ba(
+    PartyIo& io, int sender, const std::vector<std::uint8_t>& value,
+    unsigned instance = 0, const BinaryBa& binary = default_binary_ba) {
+  const std::uint32_t tag = make_tag(ProtoId::kRandomizedBa, instance, 42);
+  if (io.id() == sender) io.send_all(tag, value);
+  const Inbox& in = io.sync();
+  std::vector<std::uint8_t> received;
+  if (const Msg* m = in.from(sender, tag)) received = m->body;
+  return multivalued_ba(io, received, /*fallback=*/{}, instance, binary);
+}
+
+}  // namespace dprbg

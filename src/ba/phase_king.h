@@ -1,0 +1,69 @@
+// Deterministic binary Byzantine agreement: the King algorithm
+// (Berman-Garay-Perry style, as presented by Attiya & Welch), n > 4t.
+//
+// Coin-Gen says "Run any BA protocol" and the paper "assume[s] ... that
+// deterministic BA is carried out" (Section 1.2). The king algorithm is
+// the textbook deterministic choice; its n > 4t requirement is strictly
+// weaker than the n >= 6t + 1 model of Section 4 where it is used.
+//
+// t + 1 phases of 2 rounds. In each phase a designated king breaks ties:
+//   Round 1: everyone sends its current value; compute the majority value
+//            and its multiplicity.
+//   Round 2: the king sends its majority value; a player keeps its own
+//            majority if its multiplicity exceeds n/2 + t, otherwise
+//            adopts the king's value.
+// With t+1 phases some phase has an honest king, establishing agreement;
+// persistence keeps it (an agreed value has multiplicity >= n - t >
+// n/2 + t for n > 4t).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "net/cluster.h"
+#include "net/msg.h"
+
+namespace dprbg {
+
+// Runs one Byzantine agreement on a binary input. All players call it in
+// lockstep; returns the agreed bit. Rounds: 2 * (t + 1).
+inline int phase_king_ba(PartyIo& io, int input, unsigned instance = 0) {
+  const int n = io.n();
+  const int t = io.t();
+  DPRBG_CHECK(n > 4 * t);
+  int value = input != 0 ? 1 : 0;
+
+  for (int phase = 0; phase <= t; ++phase) {
+    const int king = phase % n;
+    const std::uint32_t vote_tag =
+        make_tag(ProtoId::kPhaseKing, instance, 2 * phase);
+    const std::uint32_t king_tag =
+        make_tag(ProtoId::kPhaseKing, instance, 2 * phase + 1);
+
+    // Round 1: universal exchange.
+    io.send_all(vote_tag, {static_cast<std::uint8_t>(value)});
+    const Inbox& in1 = io.sync();
+    int count[2] = {0, 0};
+    for (const Msg* m : in1.with_tag(vote_tag)) {
+      if (m->body.size() == 1 && m->body[0] <= 1) ++count[m->body[0]];
+    }
+    const int maj = count[1] > count[0] ? 1 : 0;
+    const int mult = count[maj];
+
+    // Round 2: the king proposes its majority as the tiebreaker.
+    if (io.id() == king) {
+      io.send_all(king_tag, {static_cast<std::uint8_t>(maj)});
+    }
+    const Inbox& in2 = io.sync();
+    int king_value = 0;  // default when the king is silent/garbled
+    if (const Msg* m = in2.from(king, king_tag)) {
+      if (m->body.size() == 1 && m->body[0] <= 1) king_value = m->body[0];
+    }
+    value = (mult > n / 2 + t) ? maj : king_value;
+  }
+  return value;
+}
+
+}  // namespace dprbg

@@ -1,0 +1,95 @@
+// Randomized Byzantine agreement driven by shared coins — the paper's
+// motivating application ("Shared coins are needed, amongst other things,
+// for Byzantine agreement (BA) and broadcast", Section 1.1; "coins are
+// often used as a source of randomness to execute Byzantine agreement,
+// and hence implement a broadcast channel", Section 4).
+//
+// A Ben-Or-style synchronous protocol with a *common* coin, n >= 5t + 1.
+// Each phase (1 round + 1 coin exposure):
+//
+//   1. Send the current value to all; count votes.
+//   2. If some value w has > (n+t)/2 votes, adopt it (at most one value
+//      can clear that bar across all honest players); if w reaches
+//      n - t votes, also decide w.
+//   3. Otherwise adopt the phase's shared coin.
+//
+// If an honest player decides w in phase p, every honest player counted
+// >= n - 2t > (n+t)/2 votes for w (n > 5t) and adopted it, so all decide
+// in phase p + 1. If nobody clears the adoption bar, the common coin
+// matches the (unique) adopted value with probability 1/2 — expected O(1)
+// phases, each consuming exactly one shared coin. This is precisely the
+// consumption pattern the D-PRBG amortizes (Section 1.2: "the coins
+// needed by the BA protocol must be taken into consideration when setting
+// the level of coins for the bootstrapping mechanism").
+//
+// Every player runs all `max_phases` phases (decided players keep voting
+// their decision), so the round pattern is identical everywhere; the
+// failure probability of the fixed budget is ~2^-(max_phases).
+
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "common/check.h"
+#include "gf/field_concept.h"
+#include "net/cluster.h"
+#include "net/msg.h"
+#include "coin/sealed_coin.h"
+
+namespace dprbg {
+
+// Source of shared coin bits consumed by the protocol; typically wraps
+// DPrbg<F>::next_bit. Must behave identically (same sequence) at every
+// honest player.
+using SharedCoinSource = std::function<std::optional<int>(PartyIo&)>;
+
+struct RandomizedBaResult {
+  std::optional<int> decision;  // nullopt if the phase budget ran out
+  unsigned phases_run = 0;      // phases until first decision (or budget)
+  unsigned coins_consumed = 0;
+};
+
+inline RandomizedBaResult randomized_ba(PartyIo& io, int input,
+                                        const SharedCoinSource& coin_source,
+                                        unsigned max_phases = 20,
+                                        unsigned instance = 0) {
+  const int n = io.n();
+  const int t = io.t();
+  DPRBG_CHECK(n >= 5 * t + 1);
+  int value = input != 0 ? 1 : 0;
+  RandomizedBaResult result;
+
+  for (unsigned phase = 0; phase < max_phases; ++phase) {
+    const std::uint32_t vote_tag =
+        make_tag(ProtoId::kRandomizedBa, instance, phase & 0xFF);
+    io.send_all(vote_tag, {static_cast<std::uint8_t>(value)});
+    const Inbox& in = io.sync();
+    int count[2] = {0, 0};
+    for (const Msg* m : in.with_tag(vote_tag)) {
+      if (m->body.size() == 1 && m->body[0] <= 1) ++count[m->body[0]];
+    }
+    const int maj = count[1] > count[0] ? 1 : 0;
+    const int mult = count[maj];
+
+    // The coin is exposed every phase to keep all players' round pattern
+    // (and coin consumption) aligned, whether or not they use it.
+    const std::optional<int> coin = coin_source(io);
+    ++result.coins_consumed;
+    if (!coin.has_value()) return result;  // coin supply violated
+
+    if (2 * mult > n + t) {
+      value = maj;
+      if (mult >= n - t && !result.decision.has_value()) {
+        result.decision = maj;
+        result.phases_run = phase + 1;
+      }
+    } else {
+      value = *coin;
+    }
+  }
+  if (!result.decision.has_value()) result.phases_run = max_phases;
+  return result;
+}
+
+}  // namespace dprbg

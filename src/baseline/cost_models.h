@@ -1,0 +1,116 @@
+// Analytic cost models for the literature comparison of Section 1.4
+// (experiment E10).
+//
+// The paper compares its D-PRBG against prior shared-coin protocols by
+// asymptotic cost. Feldman-Micali [14] and Beaver-So [2] are large
+// protocols whose full mechanics are out of scope for a cost comparison
+// (and Beaver-So additionally relies on the intractability of factoring,
+// which the paper's own protocol deliberately avoids); following the
+// paper itself, they enter the E10 table through the cost expressions it
+// quotes:
+//
+//   [14] Feldman-Micali: "resilient against a third of the players, the
+//        computations comprise O(n^4 log^2 n) steps per player, the
+//        communication is O(n^5) messages, and there exists a
+//        non-negligible probability that not all players will see the
+//        coin."
+//   [2]  Beaver-So: "only needs a majority of good players, but relies on
+//        complexity assumptions ... the generation of bits is limited to
+//        a pre-set size."
+//   [11] Dwork-Shmoys-Stockmeyer: "tolerates n/log n faults ... not all
+//        the players see the coin."
+//
+// These are per-coin, from-scratch figures (constants set to 1; the
+// comparison is about asymptotic shape, which is all the paper claims).
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dprbg {
+
+struct CoinCostModel {
+  std::string name;
+  // Basic operations (k-bit additions) per player per coin.
+  double ops_per_coin;
+  // Messages network-wide per coin.
+  double messages_per_coin;
+  // Fault tolerance expressed as max t for a given n.
+  double max_t;
+  bool all_players_see_coin;
+  bool needs_complexity_assumptions;
+  std::string notes;
+};
+
+inline double log2d(double x) { return std::log2(x); }
+
+// Feldman-Micali [14] per-player/per-coin model.
+inline CoinCostModel feldman_micali_model(int n, unsigned /*k*/) {
+  const double nd = n;
+  return {
+      "Feldman-Micali [14]",
+      nd * nd * nd * nd * log2d(nd) * log2d(nd),  // O(n^4 log^2 n)
+      nd * nd * nd * nd * nd,                     // O(n^5)
+      (nd - 1) / 3,
+      /*all_players_see_coin=*/false,
+      /*needs_complexity_assumptions=*/false,
+      "non-negligible probability that not all players see the coin",
+  };
+}
+
+// Beaver-So [2]: majority resilience, factoring assumption. The paper
+// gives no closed-form op count; we charge one modular exponentiation
+// (~k^3 bit ops ~ k^2 k-bit additions) per player per bit as the
+// standard cost of number-theoretic generators, with O(n^2) messages.
+inline CoinCostModel beaver_so_model(int n, unsigned k) {
+  const double nd = n, kd = k;
+  return {
+      "Beaver-So [2]",
+      kd * kd,
+      nd * nd,
+      (nd - 1) / 2,
+      /*all_players_see_coin=*/true,
+      /*needs_complexity_assumptions=*/true,
+      "intractability of factoring; bits limited to a pre-set size",
+  };
+}
+
+// Dwork-Shmoys-Stockmeyer [11].
+inline CoinCostModel dss_model(int n, unsigned /*k*/) {
+  const double nd = n;
+  return {
+      "Dwork-Shmoys-Stockmeyer [11]",
+      nd * nd,  // constant expected time, poly work; shape only
+      nd * nd,
+      nd / log2d(nd),
+      /*all_players_see_coin=*/false,
+      /*needs_complexity_assumptions=*/false,
+      "tolerates n/log n faults; not all players see the coin",
+  };
+}
+
+// This paper's D-PRBG, amortized (Corollary 3): O(n^2 log k) ops... per
+// k-ary coin across all players; per player it is O(n log k); messages
+// amortized n + O(n^4 / M) bits -> n messages for large M.
+inline CoinCostModel dprbg_model(int n, unsigned k, unsigned m) {
+  const double nd = n, kd = k, md = m;
+  return {
+      "D-PRBG (this paper)",
+      nd * log2d(kd),
+      nd + nd * nd * nd * nd / md / kd,
+      (nd - 1) / 6,
+      /*all_players_see_coin=*/true,
+      /*needs_complexity_assumptions=*/false,
+      "amortized over M coins per Coin-Gen run; unanimity error M n 2^-k",
+  };
+}
+
+inline std::vector<CoinCostModel> all_models(int n, unsigned k, unsigned m) {
+  return {feldman_micali_model(n, k), beaver_so_model(n, k), dss_model(n, k),
+          dprbg_model(n, k, m)};
+}
+
+}  // namespace dprbg

@@ -1,0 +1,236 @@
+// Protocol Bit-Gen (Fig. 4): broadcast-free batch sharing of sealed bits.
+//
+// Model (Section 4): n >= 6t + 1, point-to-point channels only, access to
+// sealed random k-ary coins.
+//
+//   Dealer: picks M_total random degree-t polynomials f_1..f_M and sends
+//           player P_i the row (f_1(i), ..., f_M(i)).          [1 round]
+//   All:    r <- Coin-Expose(k-ary coin).
+//   P_i:    beta_i = sum_j alpha_ij r^j (Horner), sent to ALL players
+//           point-to-point.                                     [1 round]
+//   P_i:    S = set of received betas; Berlekamp-Welch a polynomial F
+//           with deg(F) <= t agreeing with >= n - t values of S;
+//           output (F, S) or (bottom, S).
+//
+// Without a broadcast channel players may disagree on whether a given
+// dealer's run succeeded — that is resolved by Coin-Gen's clique +
+// grade-cast + BA machinery (coin_gen.h); Bit-Gen itself only produces
+// each player's local view.
+//
+// Round layout: the dealer's rows travel in the same round as the
+// challenge-coin shares. This is sound — the dealer commits to its rows
+// before anyone (itself included) can know r — and matches Lemma 6's
+// message accounting (n messages of size Mk for the rows, n^2 of size k
+// for the coin, n^2 of size k for the combinations).
+//
+// Blinding: callers that later *reveal* some of the shared secrets
+// (Coin-Gen) prepend one extra random polynomial to the batch, so the
+// published combination beta does not reduce the adversary's uncertainty
+// about the usable secrets (DESIGN.md §3). Bit-Gen itself is agnostic:
+// it verifies whatever batch it is given.
+
+#pragma once
+
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "gf/field_concept.h"
+#include "gf/field_io.h"
+#include "net/cluster.h"
+#include "net/msg.h"
+#include "poly/berlekamp_welch.h"
+#include "poly/polynomial.h"
+#include "sharing/shamir.h"
+#include "vss/batch_vss.h"
+#include "coin/coin_expose.h"
+#include "coin/sealed_coin.h"
+
+namespace dprbg {
+
+// One player's local view of one dealer's Bit-Gen instance.
+template <FiniteField F>
+struct BitGenView {
+  // The row of shares this player received from the dealer (size M_total),
+  // or empty when the dealer sent nothing/garbage to us.
+  std::vector<F> my_row;
+  // S: the combination shares received in step 3, keyed by sender.
+  std::map<int, F> combos;
+  // F(x): the decoded combined polynomial, or nullopt for "bottom".
+  std::optional<Polynomial<F>> poly;
+
+  [[nodiscard]] bool accepted() const { return poly.has_value(); }
+};
+
+namespace bitgen_detail {
+
+// Decode step (Fig. 4 step 5): find deg<=t F agreeing with >= n - t of
+// the received combination shares.
+template <FiniteField F>
+std::optional<Polynomial<F>> decode_combination(
+    const std::map<int, F>& combos, int n, unsigned t) {
+  std::vector<PointValue<F>> points;
+  points.reserve(combos.size());
+  for (const auto& [sender, beta] : combos) {
+    points.push_back({eval_point<F>(sender), beta});
+  }
+  const std::size_t need =
+      static_cast<std::size_t>(n) - static_cast<std::size_t>(t);
+  if (points.size() < need) return std::nullopt;
+  const unsigned max_errors = std::min<unsigned>(
+      static_cast<unsigned>(points.size() - need),
+      static_cast<unsigned>((points.size() - t - 1) / 2));
+  auto poly = berlekamp_welch<F>(points, t, max_errors);
+  if (!poly) return std::nullopt;
+  std::size_t agreements = 0;
+  for (const auto& pv : points) {
+    if ((*poly)(pv.x) == pv.y) ++agreements;
+  }
+  if (agreements < need) return std::nullopt;
+  return poly;
+}
+
+}  // namespace bitgen_detail
+
+// Single-dealer Bit-Gen, exactly Fig. 4 (used standalone by tests and the
+// E6 benchmark). The dealer passes its M_total polynomials; everyone else
+// passes an empty span. Consumes 2 rounds.
+template <FiniteField F>
+BitGenView<F> bit_gen_single(PartyIo& io, int dealer, unsigned m_total,
+                             unsigned t,
+                             std::span<const Polynomial<F>> dealer_polys,
+                             const SealedCoin<F>& challenge_coin,
+                             unsigned instance = 0) {
+  const std::uint32_t row_tag = make_tag(ProtoId::kBitGen, instance, 0);
+  const std::uint32_t combo_tag = make_tag(ProtoId::kBitGen, instance, 1);
+  const int n = io.n();
+
+  // Dealer step 1: distribute rows.
+  if (io.id() == dealer) {
+    DPRBG_CHECK(dealer_polys.size() == m_total);
+    for (int i = 0; i < n; ++i) {
+      ByteWriter w;
+      for (const auto& f : dealer_polys) write_elem(w, f(eval_point<F>(i)));
+      io.send(i, row_tag, std::move(w).take());
+    }
+  }
+
+  // Step 2: expose the challenge (same round as row delivery).
+  const std::optional<F> r_val = coin_expose<F>(io, challenge_coin, instance);
+
+  BitGenView<F> view;
+  if (const Msg* mine = io.inbox().from(dealer, row_tag)) {
+    ByteReader rd(mine->body);
+    std::vector<F> row;
+    row.reserve(m_total);
+    for (unsigned j = 0; j < m_total; ++j) row.push_back(read_elem<F>(rd));
+    if (rd.done()) view.my_row = std::move(row);
+  }
+  if (!r_val.has_value()) {
+    io.sync();
+    return view;
+  }
+
+  // Step 3: send the Horner combination to all players.
+  if (!view.my_row.empty()) {
+    ByteWriter w;
+    write_elem(w, batch_combine<F>(view.my_row, *r_val));
+    io.send_all(combo_tag, w.data());
+  }
+  const Inbox& in = io.sync();
+
+  // Steps 4-5: collect S and decode.
+  for (const Msg* m : in.with_tag(combo_tag)) {
+    ByteReader rd(m->body);
+    const F beta = read_elem<F>(rd);
+    if (!rd.done()) continue;
+    view.combos.emplace(m->from, beta);
+  }
+  view.poly = bitgen_detail::decode_combination<F>(view.combos, n, t);
+  return view;
+}
+
+// All n Bit-Gen instances in parallel with one shared challenge coin
+// (Fig. 5 steps 1-3: "Participate in all invocations of Bit-Gen_j ...
+// using the same coin r for all invocations"). Each player deals the
+// polynomials in `my_polys` (size M_total). Combination shares for all n
+// instances are batched into a single message per recipient, giving the
+// n^2 messages of size kn of Theorem 2. Consumes 2 rounds.
+template <FiniteField F>
+struct BitGenAllOutcome {
+  std::optional<F> challenge;
+  std::vector<BitGenView<F>> views;  // indexed by dealer
+};
+
+template <FiniteField F>
+BitGenAllOutcome<F> bit_gen_all(PartyIo& io,
+                                std::span<const Polynomial<F>> my_polys,
+                                unsigned m_total, unsigned t,
+                                const SealedCoin<F>& challenge_coin,
+                                unsigned instance = 0) {
+  const std::uint32_t row_tag = make_tag(ProtoId::kBitGen, instance, 0);
+  const std::uint32_t combo_tag = make_tag(ProtoId::kBitGen, instance, 1);
+  const int n = io.n();
+  DPRBG_CHECK(my_polys.size() == m_total);
+
+  // Everyone deals (step 1 of its own instance).
+  for (int i = 0; i < n; ++i) {
+    ByteWriter w;
+    for (const auto& f : my_polys) write_elem(w, f(eval_point<F>(i)));
+    io.send(i, row_tag, std::move(w).take());
+  }
+
+  BitGenAllOutcome<F> out;
+  out.views.resize(n);
+  const std::optional<F> r_val = coin_expose<F>(io, challenge_coin, instance);
+  for (int dealer = 0; dealer < n; ++dealer) {
+    if (const Msg* m = io.inbox().from(dealer, row_tag)) {
+      ByteReader rd(m->body);
+      std::vector<F> row;
+      row.reserve(m_total);
+      for (unsigned j = 0; j < m_total; ++j) row.push_back(read_elem<F>(rd));
+      if (rd.done()) out.views[dealer].my_row = std::move(row);
+    }
+  }
+  if (!r_val.has_value()) {
+    io.sync();
+    return out;
+  }
+  out.challenge = r_val;
+
+  // Batched combination message: one presence flag + beta per dealer.
+  {
+    ByteWriter w;
+    for (int dealer = 0; dealer < n; ++dealer) {
+      const auto& row = out.views[dealer].my_row;
+      w.u8(row.empty() ? 0 : 1);
+      write_elem(w, row.empty() ? F::zero()
+                                : batch_combine<F>(row, *r_val));
+    }
+    io.send_all(combo_tag, w.data());
+  }
+  const Inbox& in = io.sync();
+
+  for (const Msg* m : in.with_tag(combo_tag)) {
+    ByteReader rd(m->body);
+    for (int dealer = 0; dealer < n; ++dealer) {
+      const bool present = rd.u8() != 0;
+      const F beta = read_elem<F>(rd);
+      if (present) out.views[dealer].combos.emplace(m->from, beta);
+    }
+    if (!rd.ok()) {
+      // Malformed batch: drop this sender from every instance.
+      for (int dealer = 0; dealer < n; ++dealer) {
+        out.views[dealer].combos.erase(m->from);
+      }
+    }
+  }
+  for (int dealer = 0; dealer < n; ++dealer) {
+    out.views[dealer].poly = bitgen_detail::decode_combination<F>(
+        out.views[dealer].combos, n, t);
+  }
+  return out;
+}
+
+}  // namespace dprbg

@@ -1,0 +1,134 @@
+// The clique step of Coin-Gen (Fig. 5, steps 4-6).
+//
+// Each player builds a graph whose vertices are players and whose edges
+// record *mutual* successful verification of each other's Bit-Gen
+// sharings. Honest players are pairwise connected, so the complement
+// graph's edges all touch faulty players: its vertex cover is at most t.
+// "Utilizing the protocol of Gabril ([Garey & Johnson], p. 134), a clique
+// can be found of size at least n - 2t": take a maximal matching of the
+// complement (<= t edges, since a matching is no larger than any vertex
+// cover) and drop its endpoints — the rest is independent in the
+// complement, i.e. a clique in G, of size >= n - 2t.
+
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dprbg {
+
+// Small dense undirected graph on n vertices.
+class Graph {
+ public:
+  explicit Graph(int n) : n_(n), adj_(static_cast<std::size_t>(n) * n) {}
+
+  [[nodiscard]] int size() const { return n_; }
+
+  void add_edge(int a, int b) {
+    DPRBG_CHECK(a >= 0 && a < n_ && b >= 0 && b < n_);
+    if (a == b) return;
+    adj_[static_cast<std::size_t>(a) * n_ + b] = true;
+    adj_[static_cast<std::size_t>(b) * n_ + a] = true;
+  }
+
+  [[nodiscard]] bool has_edge(int a, int b) const {
+    if (a == b) return false;
+    return adj_[static_cast<std::size_t>(a) * n_ + b];
+  }
+
+  [[nodiscard]] bool is_clique(const std::vector<int>& vertices) const {
+    for (std::size_t i = 0; i < vertices.size(); ++i) {
+      for (std::size_t j = i + 1; j < vertices.size(); ++j) {
+        if (!has_edge(vertices[i], vertices[j])) return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  int n_;
+  std::vector<bool> adj_;
+};
+
+// Exact maximum clique by Bron-Kerbosch with pivoting (n <= 64). Only
+// used by the `ablation` benchmark to quantify how much the polynomial-
+// time approximation below gives up; protocols never call this (max
+// clique is NP-hard — the whole reason the paper reaches for the
+// Garey-Johnson approximation).
+inline std::vector<int> find_max_clique_exact(const Graph& g) {
+  const int n = g.size();
+  DPRBG_CHECK(n <= 64);
+  std::vector<std::uint64_t> adj(n, 0);
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) {
+      if (g.has_edge(a, b)) adj[a] |= std::uint64_t{1} << b;
+    }
+  }
+  std::uint64_t best = 0;
+  // Iterative-friendly recursive lambda: R = current clique, P =
+  // candidates, X = excluded.
+  auto bk = [&](auto&& self, std::uint64_t r, std::uint64_t p,
+                std::uint64_t x) -> void {
+    if (p == 0 && x == 0) {
+      if (std::popcount(r) > std::popcount(best)) best = r;
+      return;
+    }
+    // Pivot: vertex in P|X with most neighbours in P.
+    int pivot = -1, pivot_deg = -1;
+    for (std::uint64_t px = p | x; px != 0; px &= px - 1) {
+      const int v = std::countr_zero(px);
+      const int deg = std::popcount(adj[v] & p);
+      if (deg > pivot_deg) {
+        pivot = v;
+        pivot_deg = deg;
+      }
+    }
+    for (std::uint64_t cand = p & ~adj[pivot]; cand != 0;
+         cand &= cand - 1) {
+      const int v = std::countr_zero(cand);
+      const std::uint64_t vbit = std::uint64_t{1} << v;
+      self(self, r | vbit, p & adj[v], x & adj[v]);
+      p &= ~vbit;
+      x |= vbit;
+    }
+  };
+  const std::uint64_t all =
+      n == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+  bk(bk, 0, all, 0);
+  std::vector<int> out;
+  for (int v = 0; v < n; ++v) {
+    if ((best >> v) & 1u) out.push_back(v);
+  }
+  return out;
+}
+
+// Matching-based clique approximation. Returns a clique (sorted vertex
+// ids) of size >= n - 2 * vc(complement(g)). Deterministic: scans vertex
+// pairs in increasing order, so all honest players compute the same
+// clique from the same graph.
+inline std::vector<int> find_large_clique(const Graph& g) {
+  const int n = g.size();
+  std::vector<bool> matched(n, false);
+  // Greedy maximal matching on the complement graph.
+  for (int a = 0; a < n; ++a) {
+    if (matched[a]) continue;
+    for (int b = a + 1; b < n; ++b) {
+      if (matched[b] || g.has_edge(a, b)) continue;
+      matched[a] = matched[b] = true;  // complement edge (a, b)
+      break;
+    }
+  }
+  std::vector<int> clique;
+  for (int v = 0; v < n; ++v) {
+    if (!matched[v]) clique.push_back(v);
+  }
+  // By construction the unmatched vertices are pairwise adjacent in g
+  // (otherwise the matching was not maximal); assert the invariant.
+  DPRBG_CHECK(g.is_clique(clique));
+  return clique;
+}
+
+}  // namespace dprbg

@@ -1,0 +1,69 @@
+// Protocol Coin-Expose (Fig. 6): reveal a sealed coin.
+//
+//   1. Every player holding a (valid) share of coin h sends it to all
+//      players. (When the coin came from Coin-Gen, the share is the
+//      pre-combined sigma_i = sum_{j in S} alpha_{i,j,h}; the sum over the
+//      3t+1 contributing dealers was taken when the batch was stored.)
+//   2. Everyone interpolates a polynomial F(x) through the received shares
+//      using the Berlekamp-Welch decoder.
+//   3. The k-ary coin is F(0); the binary coin is F(0) mod 2.
+//
+// Costs (Section 3.1): n additions and a single polynomial interpolation
+// per player; n messages of size k per exposing player.
+//
+// Unanimity: with at most t faulty players, at least (#senders - t) of the
+// received points are correct and lie on the degree-t sharing polynomial.
+// Berlekamp-Welch returns that unique polynomial for every receiver as
+// long as points >= degree + 2t + 1, no matter which garbage the faulty
+// players send (even different garbage to different receivers).
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "gf/field_concept.h"
+#include "gf/field_io.h"
+#include "net/cluster.h"
+#include "net/msg.h"
+#include "poly/berlekamp_welch.h"
+#include "sharing/shamir.h"
+#include "coin/sealed_coin.h"
+
+namespace dprbg {
+
+// Runs one round. All players must call this in lockstep (it performs
+// exactly one sync()). `instance` disambiguates parallel exposures.
+// Returns the coin value, or nullopt when decoding fails (possible only
+// when the coin's guarantees are violated, e.g. fewer than degree + 2t + 1
+// honest share-holders).
+template <FiniteField F>
+std::optional<F> coin_expose(PartyIo& io, const SealedCoin<F>& coin,
+                             unsigned instance = 0) {
+  const std::uint32_t tag = make_tag(ProtoId::kCoinExpose, instance, 0);
+  if (coin.share.has_value()) {
+    ByteWriter w;
+    write_elem(w, *coin.share);
+    io.send_all(tag, w.data());
+  }
+  const Inbox& in = io.sync();
+
+  std::vector<PointValue<F>> points;
+  for (const Msg* m : in.with_tag(tag)) {
+    ByteReader r(m->body);
+    const F share = read_elem<F>(r);
+    if (!r.done()) continue;  // malformed: drop the sender's point
+    points.push_back({eval_point<F>(m->from), share});
+  }
+  if (points.size() < coin.degree + 1) return std::nullopt;
+  // Tolerate up to t lies, but never more than the distance allows.
+  const unsigned by_distance = static_cast<unsigned>(
+      (points.size() - coin.degree - 1) / 2);
+  const unsigned max_errors =
+      std::min(static_cast<unsigned>(io.t()), by_distance);
+  const auto poly = berlekamp_welch<F>(points, coin.degree, max_errors);
+  if (!poly) return std::nullopt;
+  return (*poly)(F::zero());
+}
+
+}  // namespace dprbg

@@ -1,0 +1,39 @@
+// Sealed shared coins.
+//
+// A sealed k-ary coin (Section 1.1) is a random field element that the
+// players jointly hold as a degree-t Shamir sharing: no coalition of <= t
+// players can predict it, and any later Coin-Expose run reveals the same
+// value to everyone (unanimity). This header defines the per-player view
+// of such a coin; Coin-Expose (coin_expose.h) turns it into a public
+// value.
+
+#pragma once
+
+#include <optional>
+
+#include "gf/field_concept.h"
+
+namespace dprbg {
+
+// One player's view of one sealed coin.
+template <FiniteField F>
+struct SealedCoin {
+  // This player's share of the coin polynomial, or nullopt when the player
+  // holds no (valid) share — e.g. it was not in the qualified
+  // reconstruction set of the Coin-Gen run that minted the coin. Players
+  // without a share still learn the coin at expose time.
+  std::optional<F> share;
+  // Degree of the sharing polynomial (the fault threshold t it hides
+  // against).
+  unsigned degree = 0;
+};
+
+// A coin value interpreted per the paper: the full field element is the
+// k-ary coin, its low bit the binary coin (Fig. 6 step 3: "coin_h = F(0)
+// mod 2").
+template <FiniteField F>
+int coin_to_bit(F value) {
+  return static_cast<int>(value.to_uint() & 1u);
+}
+
+}  // namespace dprbg

@@ -1,0 +1,28 @@
+// Internal invariant checking.
+//
+// DPRBG_CHECK is for programmer errors (violated preconditions inside our
+// own code); it aborts with a message. It is *never* used on data received
+// from the network — Byzantine input is handled by explicit validation and
+// graceful rejection, per the protocol specifications.
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dprbg::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line) {
+  std::fprintf(stderr, "DPRBG_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace dprbg::detail
+
+#define DPRBG_CHECK(expr)                                       \
+  do {                                                          \
+    if (!(expr)) {                                              \
+      ::dprbg::detail::check_failed(#expr, __FILE__, __LINE__); \
+    }                                                           \
+  } while (false)

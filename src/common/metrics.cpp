@@ -1,0 +1,26 @@
+#include "common/metrics.h"
+
+#include <sstream>
+
+namespace dprbg {
+
+FieldCounters& field_counters() noexcept {
+  thread_local FieldCounters counters;
+  return counters;
+}
+
+std::string to_string(const FieldCounters& c) {
+  std::ostringstream os;
+  os << "adds=" << c.adds << " muls=" << c.muls << " invs=" << c.invs
+     << " interps=" << c.interpolations;
+  return os.str();
+}
+
+std::string to_string(const CommCounters& c) {
+  std::ostringstream os;
+  os << "msgs=" << c.messages << " bytes=" << c.bytes
+     << " rounds=" << c.rounds;
+  return os.str();
+}
+
+}  // namespace dprbg

@@ -1,0 +1,107 @@
+// Minimal byte-oriented serialization for protocol messages.
+//
+// All protocol payloads are encoded with these little-endian writers and
+// readers. Readers are *defensive*: malformed input (as a Byzantine sender
+// would produce) never causes undefined behaviour — it flips the reader
+// into a failed state that the caller must check.
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dprbg {
+
+// Append-only little-endian byte writer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { put_le(v); }
+  void u32(std::uint32_t v) { put_le(v); }
+  void u64(std::uint64_t v) { put_le(v); }
+
+  void bytes(std::span<const std::uint8_t> b) {
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+
+  // Length-prefixed vector of u64 (the common share-list payload).
+  void u64_vec(std::span<const std::uint64_t> v) {
+    u32(static_cast<std::uint32_t>(v.size()));
+    for (std::uint64_t x : v) u64(x);
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const& {
+    return buf_;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() && { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  template <typename T>
+  void put_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+// Little-endian byte reader over a borrowed buffer. On any out-of-bounds
+// read the reader fails permanently and returns zeros; callers check
+// `ok()` once at the end of decoding.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() { return get_le<std::uint8_t>(); }
+  std::uint16_t u16() { return get_le<std::uint16_t>(); }
+  std::uint32_t u32() { return get_le<std::uint32_t>(); }
+  std::uint64_t u64() { return get_le<std::uint64_t>(); }
+
+  // Reads a length-prefixed u64 vector; rejects absurd lengths so a
+  // Byzantine sender cannot force a huge allocation.
+  std::vector<std::uint64_t> u64_vec(std::size_t max_len = 1u << 20) {
+    const std::uint32_t len = u32();
+    if (len > max_len || len * 8ull > remaining()) {
+      ok_ = false;
+      return {};
+    }
+    std::vector<std::uint64_t> out;
+    out.reserve(len);
+    for (std::uint32_t i = 0; i < len; ++i) out.push_back(u64());
+    return out;
+  }
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  // True iff decoding consumed the whole buffer without error.
+  [[nodiscard]] bool done() const { return ok_ && pos_ == data_.size(); }
+
+ private:
+  template <typename T>
+  T get_le() {
+    if (pos_ + sizeof(T) > data_.size()) {
+      ok_ = false;
+      pos_ = data_.size();
+      return T{0};
+    }
+    T v{0};
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<T>(data_[pos_ + i]) << (8 * i)));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace dprbg

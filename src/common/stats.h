@@ -1,0 +1,75 @@
+// Bit-sequence statistics for validating coin quality.
+//
+// A D-PRBG must produce a "random looking sequence" (Section 1.1). These
+// are the classic FIPS/NIST-style checks at toy scale — monobit
+// frequency, runs, and serial (lag-1) correlation — used by the
+// coin_quality experiment and the statistical tests. Each returns a
+// z-score-like normalized statistic; |z| < ~4 passes at any reasonable
+// sample size.
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+
+#include "common/check.h"
+
+namespace dprbg {
+
+// Monobit frequency test: z = (2 * #ones - n) / sqrt(n).
+inline double monobit_z(std::span<const int> bits) {
+  DPRBG_CHECK(!bits.empty());
+  double sum = 0;
+  for (int b : bits) sum += b ? 1.0 : -1.0;
+  return sum / std::sqrt(static_cast<double>(bits.size()));
+}
+
+// Runs test (Wald-Wolfowitz): number of maximal runs vs expectation under
+// independence, normalized. Returns 0 when the sequence is degenerate
+// (all equal) — callers treat |z| as the failure signal, and degenerate
+// sequences already fail monobit spectacularly.
+inline double runs_z(std::span<const int> bits) {
+  DPRBG_CHECK(bits.size() >= 2);
+  const double n = static_cast<double>(bits.size());
+  double ones = 0;
+  for (int b : bits) ones += b ? 1 : 0;
+  const double pi = ones / n;
+  if (pi == 0.0 || pi == 1.0) return 0.0;
+  double runs = 1;
+  for (std::size_t i = 1; i < bits.size(); ++i) {
+    if (bits[i] != bits[i - 1]) ++runs;
+  }
+  const double expected = 2 * n * pi * (1 - pi);
+  const double sigma = 2 * std::sqrt(n) * pi * (1 - pi);
+  return (runs - expected) / sigma;
+}
+
+// Lag-1 serial correlation, normalized: for independent fair bits the
+// statistic is ~N(0, 1).
+inline double serial_z(std::span<const int> bits) {
+  DPRBG_CHECK(bits.size() >= 2);
+  const std::size_t n = bits.size() - 1;
+  double agree = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    agree += (bits[i] == bits[i + 1]) ? 1.0 : -1.0;
+  }
+  return agree / std::sqrt(static_cast<double>(n));
+}
+
+struct BitQuality {
+  double monobit;
+  double runs;
+  double serial;
+
+  [[nodiscard]] bool passes(double threshold = 4.5) const {
+    return std::abs(monobit) < threshold && std::abs(runs) < threshold &&
+           std::abs(serial) < threshold;
+  }
+};
+
+inline BitQuality analyze_bits(std::span<const int> bits) {
+  return {monobit_z(bits), runs_z(bits), serial_z(bits)};
+}
+
+}  // namespace dprbg

@@ -1,0 +1,64 @@
+// Per-player pool of sealed coins (the "distributed seed" storage of the
+// bootstrap loop, Fig. 1).
+//
+// Every honest player holds a structurally identical pool (same coins in
+// the same order; only the share values differ), and all honest players
+// consume coins in lockstep FIFO order — the pool index doubles as the
+// Coin-Expose instance tag, so concurrent exposures never cross wires.
+
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "common/check.h"
+#include "gf/field_concept.h"
+#include "coin/sealed_coin.h"
+
+namespace dprbg {
+
+template <FiniteField F>
+class CoinPool {
+ public:
+  CoinPool() = default;
+
+  void add(SealedCoin<F> coin) {
+    coins_.push_back(std::move(coin));
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return coins_.size(); }
+  [[nodiscard]] bool empty() const { return coins_.empty(); }
+
+  // Total coins ever taken; identical across honest players, hence usable
+  // as a globally consistent instance id for the next exposure.
+  [[nodiscard]] std::size_t consumed() const { return consumed_; }
+
+  // Read-only view of the queued coins (front = next to be taken).
+  [[nodiscard]] const std::deque<SealedCoin<F>>& coins() const {
+    return coins_;
+  }
+
+  // Replaces the queued coins in place (same count, same order), used by
+  // pro-active refresh: the coin VALUES are unchanged, only the sharings
+  // rotate, so cross-player pool alignment is preserved.
+  void replace_all(std::vector<SealedCoin<F>> fresh) {
+    DPRBG_CHECK(fresh.size() == coins_.size());
+    coins_.assign(std::make_move_iterator(fresh.begin()),
+                  std::make_move_iterator(fresh.end()));
+  }
+
+  // Pops the next coin. All honest players call this in the same order.
+  SealedCoin<F> take() {
+    DPRBG_CHECK(!coins_.empty());
+    SealedCoin<F> c = std::move(coins_.front());
+    coins_.pop_front();
+    ++consumed_;
+    return c;
+  }
+
+ private:
+  std::deque<SealedCoin<F>> coins_;
+  std::size_t consumed_ = 0;
+};
+
+}  // namespace dprbg

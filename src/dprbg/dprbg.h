@@ -1,0 +1,162 @@
+// The Distributed Pseudo-Random Bit Generator with bootstrapping
+// (Fig. 1, Sections 1.1-1.2): the paper's headline object.
+//
+//            O(k) bits                    kM bits
+//   Initial seed  ----->  D-PRBG  ----->  Consume bits
+//                            ^               |
+//                            +--- O(k) bits -+
+//
+// Each player wraps its pool of sealed coins in a DPrbg. Drawing a coin
+// exposes the next sealed coin (one round). When the pool level falls to
+// the reserve threshold, the generator "stretches" the remaining seed:
+// one Coin-Gen run consumes an expected ~2 seed coins and mints M fresh
+// sealed coins — including the seed for the next refill, so after the
+// once-only genesis the supply never ends ("the generation process is
+// endless, as bits are generated upon demand", Section 1.4).
+//
+// All honest players drive their DPrbg instances in lockstep (same call
+// sequence); the pools stay structurally identical, so refills trigger at
+// the same instant everywhere.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "gf/field_concept.h"
+#include "net/cluster.h"
+#include "coin/coin_expose.h"
+#include "coin/coin_gen.h"
+#include "coin/sealed_coin.h"
+#include "dprbg/coin_pool.h"
+#include "dprbg/proactive.h"
+
+namespace dprbg {
+
+template <FiniteField F>
+class DPrbg {
+ public:
+  struct Options {
+    // M: sealed coins minted per Coin-Gen run. Soundness degrades as M/p
+    // (Lemma 3), so M can be "exponentially large" in k = F::kBits.
+    unsigned batch_size = 64;
+    // Refill when the pool drops below this level. Must cover one
+    // Coin-Gen run: 1 challenge + expected O(1) leader draws + slack.
+    unsigned reserve = 6;
+    // Leader-draw budget per Coin-Gen run.
+    unsigned max_iterations = 16;
+  };
+
+  DPrbg(Options opts, std::vector<SealedCoin<F>> genesis_coins)
+      : opts_(opts) {
+    for (auto& c : genesis_coins) pool_.add(std::move(c));
+  }
+
+  // Draws the next shared k-ary coin. Runs Coin-Expose (1 round), plus a
+  // Coin-Gen refill first when the pool is low. Returns nullopt only when
+  // the model's guarantees were violated (refill impossible).
+  std::optional<F> next_coin(PartyIo& io) {
+    if (!maybe_refill(io)) return std::nullopt;
+    if (pool_.empty()) return std::nullopt;
+    const unsigned instance =
+        static_cast<unsigned>(pool_.consumed() % 4096);
+    const SealedCoin<F> coin = pool_.take();
+    ++coins_drawn_;
+    return coin_expose<F>(io, coin, instance);
+  }
+
+  // Binary projection ("F(0) mod 2", Fig. 6). One fresh coin per bit:
+  // safe for *adaptive* consumers (e.g. randomized BA, where each phase's
+  // coin must stay unpredictable until that phase's votes are cast).
+  std::optional<int> next_bit(PartyIo& io) {
+    const auto v = next_coin(io);
+    if (!v) return std::nullopt;
+    return coin_to_bit(*v);
+  }
+
+  // Sliced bits: "As all our coins will be generated in the field
+  // GF(2^k) we can assume that each coin generates in fact k random
+  // coins in {0,1}. Hence, we shall call these coins 'k-coins'"
+  // (Section 3.1). One exposure yields k bits.
+  //
+  // SECURITY CAVEAT: all k bits become public at the single exposure.
+  // Use this for non-adaptive randomness (sampling, symmetric tie-
+  // breaking, seeding) — NOT where each bit must remain secret until a
+  // later adversarial choice (use next_bit there).
+  std::optional<int> next_bit_cached(PartyIo& io) {
+    if (cached_bits_ == 0) {
+      const auto v = next_coin(io);
+      if (!v) return std::nullopt;
+      bit_cache_ = v->to_uint();
+      cached_bits_ = F::kBits;
+    }
+    const int bit = static_cast<int>(bit_cache_ & 1u);
+    bit_cache_ >>= 1;
+    --cached_bits_;
+    return bit;
+  }
+
+  // Pro-actively re-randomizes every sealed coin left in the pool
+  // (Section 1.2's mobile-adversary epochs), consuming one pool coin as
+  // the refresh challenge. Model caveat: the refresh subprotocol runs in
+  // the Section 3 broadcast model (see dprbg/proactive.h); call it at
+  // epoch boundaries where that assumption holds (or when coins feed
+  // applications other than broadcast). Returns false — uniformly across
+  // honest players — when the pool is too small or the refresh failed
+  // (the old, still-valid sharings are kept in that case).
+  bool refresh_pool(PartyIo& io) {
+    if (pool_.remaining() < 2) return false;
+    const unsigned instance =
+        static_cast<unsigned>(pool_.consumed() % 4096);
+    const SealedCoin<F> challenge = pool_.take();
+    const std::vector<SealedCoin<F>> current(pool_.coins().begin(),
+                                             pool_.coins().end());
+    auto result = proactive_refresh<F>(
+        io, std::span<const SealedCoin<F>>(current), challenge, instance);
+    if (!result.success) return false;
+    pool_.replace_all(std::move(result.coins));
+    ++refreshes_;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t pool_remaining() const {
+    return pool_.remaining();
+  }
+  [[nodiscard]] std::uint64_t refreshes() const { return refreshes_; }
+  [[nodiscard]] std::uint64_t coins_drawn() const { return coins_drawn_; }
+  [[nodiscard]] std::uint64_t refills() const { return refills_; }
+  [[nodiscard]] std::uint64_t seed_coins_spent_refilling() const {
+    return seed_spent_;
+  }
+  [[nodiscard]] const Options& options() const { return opts_; }
+
+ private:
+  // Adaptive refill ("a constant threshold triggering the generation of
+  // new coins", Section 1.2). Returns false when refilling failed and the
+  // pool cannot serve the request.
+  bool maybe_refill(PartyIo& io) {
+    while (pool_.remaining() <= opts_.reserve) {
+      auto gen = coin_gen<F>(io, opts_.batch_size, pool_,
+                             opts_.max_iterations);
+      seed_spent_ += gen.seed_coins_used;
+      if (!gen.success) return pool_.remaining() > 0;
+      ++refills_;
+      for (auto& c : gen.sealed_coins(static_cast<unsigned>(io.t()))) {
+        pool_.add(std::move(c));
+      }
+    }
+    return true;
+  }
+
+  Options opts_;
+  CoinPool<F> pool_;
+  std::uint64_t coins_drawn_ = 0;
+  std::uint64_t refills_ = 0;
+  std::uint64_t seed_spent_ = 0;
+  std::uint64_t bit_cache_ = 0;
+  unsigned cached_bits_ = 0;
+  std::uint64_t refreshes_ = 0;
+};
+
+}  // namespace dprbg

@@ -1,0 +1,97 @@
+// Shared-randomness sampling utilities on top of the D-PRBG.
+//
+// Applications rarely want raw bits: they want jointly-random *choices* —
+// a leader nobody could predict or bias, a committee, a shuffled order.
+// These helpers turn the D-PRBG's unanimous k-ary coins into unanimous
+// samples. Every helper consumes coins through the generator, so all
+// honest players produce the SAME sample, and the adversary's coalition
+// could neither predict nor influence it beyond its 2^-k error (the
+// shared-coin guarantees of Section 1.1 lift directly).
+//
+// Rejection sampling keeps every output exactly uniform: a k-ary coin is
+// a uniform value in [0, 2^k); values in the "overhang" above the largest
+// multiple of the bound are rejected and a fresh coin is drawn (expected
+// < 2 coins per sample, and all honest players reject in lockstep since
+// they see the same coin values).
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/check.h"
+#include "gf/field_concept.h"
+#include "net/cluster.h"
+#include "dprbg/dprbg.h"
+
+namespace dprbg {
+
+// Uniform shared integer in [0, bound). Consumes one coin in expectation
+// (at most a few under rejection). Returns nullopt only on coin-supply
+// failure.
+template <FiniteField F>
+std::optional<std::uint64_t> shared_uniform(PartyIo& io, DPrbg<F>& prbg,
+                                            std::uint64_t bound) {
+  DPRBG_CHECK(bound > 0);
+  // Accept coins in [threshold, 2^k): that interval's length is an exact
+  // multiple of bound, so (v % bound) is exactly uniform.
+  const std::uint64_t threshold =
+      F::kBits >= 64 ? (0 - bound) % bound
+                     : (std::uint64_t{1} << F::kBits) % bound;
+  while (true) {
+    const auto coin = prbg.next_coin(io);
+    if (!coin) return std::nullopt;
+    const std::uint64_t v = coin->to_uint();
+    if (v >= threshold) return v % bound;
+    // Rejected: every honest player saw the same coin and rejects too.
+  }
+}
+
+// Uniformly random shared leader in [0, n).
+template <FiniteField F>
+std::optional<int> elect_leader(PartyIo& io, DPrbg<F>& prbg) {
+  const auto v = shared_uniform<F>(io, prbg,
+                                   static_cast<std::uint64_t>(io.n()));
+  if (!v) return std::nullopt;
+  return static_cast<int>(*v);
+}
+
+// Uniformly random shared committee: a size-`size` subset of [0, n),
+// sampled without replacement (partial Fisher-Yates driven by shared
+// coins). Returned sorted.
+template <FiniteField F>
+std::optional<std::vector<int>> elect_committee(PartyIo& io, DPrbg<F>& prbg,
+                                                int size) {
+  const int n = io.n();
+  DPRBG_CHECK(size >= 0 && size <= n);
+  std::vector<int> ids(n);
+  for (int i = 0; i < n; ++i) ids[i] = i;
+  for (int i = 0; i < size; ++i) {
+    const auto j = shared_uniform<F>(io, prbg,
+                                     static_cast<std::uint64_t>(n - i));
+    if (!j) return std::nullopt;
+    std::swap(ids[i], ids[i + static_cast<int>(*j)]);
+  }
+  std::vector<int> committee(ids.begin(), ids.begin() + size);
+  std::sort(committee.begin(), committee.end());
+  return committee;
+}
+
+// Uniformly random shared permutation of [0, n) (full Fisher-Yates).
+template <FiniteField F>
+std::optional<std::vector<int>> shared_permutation(PartyIo& io,
+                                                   DPrbg<F>& prbg, int n) {
+  std::vector<int> perm(n);
+  for (int i = 0; i < n; ++i) perm[i] = i;
+  for (int i = n - 1; i > 0; --i) {
+    const auto j = shared_uniform<F>(io, prbg,
+                                     static_cast<std::uint64_t>(i + 1));
+    if (!j) return std::nullopt;
+    std::swap(perm[i], perm[static_cast<int>(*j)]);
+  }
+  return perm;
+}
+
+}  // namespace dprbg

@@ -1,0 +1,43 @@
+// Trusted-dealer genesis for the initial distributed seed.
+//
+// Section 1.2: "The initial set of coins can be obtained from a trusted
+// third party, as in the case of Rabin [17] ... in our approach the
+// services of a trusted dealer would be used only once, and for a small
+// number of coins." This is that once-only dealer: it runs *before* the
+// protocol (no network involvement) and hands each player its shares of a
+// few sealed k-ary coins. Everything after genesis is self-sufficient
+// (experiment E11 demonstrates this).
+
+#pragma once
+
+#include <vector>
+
+#include "gf/field_concept.h"
+#include "poly/polynomial.h"
+#include "rng/chacha.h"
+#include "sharing/shamir.h"
+#include "coin/sealed_coin.h"
+
+namespace dprbg {
+
+// Deals `count` sealed coins to n players with threshold t. Result is
+// indexed [player][coin]. The dealer's randomness is derived from `seed`;
+// in a real deployment this is the trusted party's entropy.
+template <FiniteField F>
+std::vector<std::vector<SealedCoin<F>>> trusted_dealer_coins(
+    int n, unsigned t, int count, std::uint64_t seed) {
+  // A dedicated stream id keeps dealer randomness disjoint from the
+  // players' own streams (which use stream = player id).
+  Chacha rng(seed, /*stream=*/0xDEA1E4ull);
+  std::vector<std::vector<SealedCoin<F>>> out(n);
+  for (int c = 0; c < count; ++c) {
+    const auto poly = Polynomial<F>::random(t, rng);
+    const auto shares = deal_shares(poly, n);
+    for (int i = 0; i < n; ++i) {
+      out[i].push_back(SealedCoin<F>{shares[i], t});
+    }
+  }
+  return out;
+}
+
+}  // namespace dprbg

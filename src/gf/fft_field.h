@@ -1,0 +1,107 @@
+// The paper's special field GF(q^l) with O(l log l) multiplication
+// (Section 2, "Model"):
+//
+//   "Let q be a prime and l an integer such that q >= 2l+1 and q^l >= 2^k.
+//    We work over GF(q^l). We view the field elements as degree l
+//    polynomials over Z_q. Then we use discrete Fourier transforms to do
+//    the multiplication, modulo some irreducible polynomial, in O(l log l)
+//    operations over Z_q."
+//
+// The paper omits the details; this file supplies them:
+//  * q is chosen as the smallest prime with q >= 2l+1 and q ≡ 1 (mod N),
+//    where N is the smallest power of two >= 2l-1, so Z_q contains the
+//    N-th roots of unity needed for a radix-2 NTT,
+//  * the modulus is a uniformly random monic degree-l polynomial accepted
+//    by Rabin's irreducibility test,
+//  * multiplication runs: forward NTT of both operands (zero-padded to N),
+//    pointwise product, inverse NTT, then reduction modulo the field
+//    polynomial via a precomputed table of x^(l+i) mod f.
+//
+// A naive O(l^2) schoolbook multiply is also provided so experiment E1 can
+// reproduce the paper's remark that naive GF(2^k) wins for small k.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "gf/zq.h"
+
+namespace dprbg {
+
+// An element of GF(q^l): coefficients c[0..l-1] over Z_q, low degree
+// first. Fixed-capacity so elements are cheap value types.
+struct FftElem {
+  static constexpr unsigned kMaxL = 256;
+  std::array<std::uint32_t, kMaxL> c{};
+
+  friend bool operator==(const FftElem&, const FftElem&) = default;
+};
+
+class FftField {
+ public:
+  // Builds GF(q^l). `seed` drives the random search for an irreducible
+  // modulus (deterministic for reproducibility).
+  explicit FftField(unsigned l, std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  [[nodiscard]] unsigned l() const { return l_; }
+  [[nodiscard]] std::uint32_t q() const { return zq_.q(); }
+  // log2(|field|), the effective security parameter k = l * log2(q).
+  [[nodiscard]] double bits() const;
+  // The irreducible modulus f (degree l, monic; coefficient of x^l is 1 and
+  // omitted: modulus()[i] is the coefficient of x^i, i < l).
+  [[nodiscard]] const std::vector<std::uint32_t>& modulus() const {
+    return modulus_;
+  }
+
+  [[nodiscard]] FftElem zero() const { return {}; }
+  [[nodiscard]] FftElem one() const;
+  // Builds an element from arbitrary bits (coefficients taken mod q); used
+  // for deterministic test vectors, not uniform sampling.
+  [[nodiscard]] FftElem from_uint(std::uint64_t v) const;
+  // Element from l caller-supplied 32-bit words, each reduced mod q. The
+  // reduction bias is ~q/2^32 per coefficient; this field is a substrate
+  // for the E1 arithmetic benchmark, not a protocol sampling path, so the
+  // bias is irrelevant here.
+  [[nodiscard]] FftElem from_words(const std::uint32_t* words) const;
+
+  [[nodiscard]] bool is_zero(const FftElem& a) const;
+  [[nodiscard]] FftElem add(const FftElem& a, const FftElem& b) const;
+  [[nodiscard]] FftElem sub(const FftElem& a, const FftElem& b) const;
+  [[nodiscard]] FftElem neg(const FftElem& a) const;
+  // NTT-based multiplication: O(l log l) operations over Z_q.
+  [[nodiscard]] FftElem mul(const FftElem& a, const FftElem& b) const;
+  // Schoolbook multiplication: O(l^2) operations over Z_q (for E1).
+  [[nodiscard]] FftElem mul_naive(const FftElem& a, const FftElem& b) const;
+  // Fermat inverse: a^(q^l - 2).
+  [[nodiscard]] FftElem inv(const FftElem& a) const;
+  [[nodiscard]] FftElem pow(const FftElem& a, std::uint64_t e) const;
+
+ private:
+  // In-place radix-2 NTT of size ntt_size_ over Z_q.
+  void ntt(std::vector<std::uint32_t>& a, bool inverse) const;
+  // Reduce a degree <= 2l-2 polynomial modulo f using the x^(l+i) table.
+  [[nodiscard]] FftElem reduce(const std::vector<std::uint32_t>& prod) const;
+  [[nodiscard]] FftElem mul_impl(const FftElem& a, const FftElem& b,
+                                 bool use_ntt) const;
+
+  // Rabin's irreducibility test over Z_q[x].
+  [[nodiscard]] bool is_irreducible(
+      const std::vector<std::uint32_t>& f) const;
+
+  unsigned l_;
+  Zq zq_;
+  std::vector<std::uint32_t> modulus_;  // coefficients of f below x^l
+  unsigned ntt_size_ = 0;               // power of two >= 2l-1
+  std::vector<std::uint32_t> ntt_roots_;      // forward twiddles
+  std::vector<std::uint32_t> ntt_inv_roots_;  // inverse twiddles
+  std::uint32_t ntt_size_inv_ = 0;            // 1/N mod q
+  // reduction_[i] = x^(l+i) mod f, for i in [0, l-2], stored as sparse
+  // (coefficient index, value) pairs — a single pair per row when the
+  // modulus is a binomial x^l - a.
+  std::vector<std::vector<std::pair<std::uint16_t, std::uint32_t>>>
+      reduction_;
+};
+
+}  // namespace dprbg

@@ -1,0 +1,38 @@
+// The FiniteField concept: the contract every field used by the protocol
+// layer satisfies.
+//
+// The paper presents its protocols over GF(2^k) ("For simplicity however
+// the algorithms we provide below assume we work over GF(2^k)") and
+// separately constructs a special field GF(q^l) with fast multiplication
+// (Section 2). We follow the same split: protocols are generic over this
+// concept and are instantiated with GF2<k>; the NTT field lives in
+// fft_field.h as a runtime-parameterized substrate with its own benchmark
+// (experiment E1).
+
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+
+namespace dprbg {
+
+template <typename F>
+concept FiniteField = requires(F a, F b, std::uint64_t v) {
+  { F::zero() } -> std::same_as<F>;
+  { F::one() } -> std::same_as<F>;
+  { F::from_uint(v) } -> std::same_as<F>;
+  { a + b } -> std::same_as<F>;
+  { a - b } -> std::same_as<F>;
+  { a * b } -> std::same_as<F>;
+  { a / b } -> std::same_as<F>;
+  { a.inv() } -> std::same_as<F>;
+  { a.to_uint() } -> std::same_as<std::uint64_t>;
+  { a == b } -> std::convertible_to<bool>;
+  { a.is_zero() } -> std::convertible_to<bool>;
+  // Number of bits in the field size (the security parameter k: |F| = 2^k
+  // for GF(2^k)); used for soundness-error accounting and serialization.
+  { F::kBits } -> std::convertible_to<unsigned>;
+  { F::kBytes } -> std::convertible_to<unsigned>;
+};
+
+}  // namespace dprbg

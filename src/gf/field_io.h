@@ -1,0 +1,31 @@
+// Serialization of field elements into protocol messages.
+//
+// Elements travel as fixed-width little-endian integers of F::kBytes
+// bytes, so message sizes match the paper's accounting (a share of a
+// k-bit secret costs k bits on the wire).
+
+#pragma once
+
+#include "common/serial.h"
+#include "gf/field_concept.h"
+
+namespace dprbg {
+
+template <FiniteField F>
+void write_elem(ByteWriter& w, F e) {
+  std::uint64_t v = e.to_uint();
+  for (unsigned i = 0; i < F::kBytes; ++i) {
+    w.u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+template <FiniteField F>
+F read_elem(ByteReader& r) {
+  std::uint64_t v = 0;
+  for (unsigned i = 0; i < F::kBytes; ++i) {
+    v |= std::uint64_t{r.u8()} << (8 * i);
+  }
+  return F::from_uint(v);
+}
+
+}  // namespace dprbg

@@ -1,0 +1,78 @@
+#include "gf/zq.h"
+
+namespace dprbg {
+
+namespace {
+
+// Prime factors of n, without multiplicity (n is small: < 2^32).
+std::vector<std::uint32_t> prime_factors(std::uint32_t n) {
+  std::vector<std::uint32_t> factors;
+  for (std::uint32_t p = 2; std::uint64_t{p} * p <= n; ++p) {
+    if (n % p == 0) {
+      factors.push_back(p);
+      while (n % p == 0) n /= p;
+    }
+  }
+  if (n > 1) factors.push_back(n);
+  return factors;
+}
+
+}  // namespace
+
+Zq::Zq(std::uint32_t q) : q_(q) {
+  DPRBG_CHECK(is_prime(q));
+  if (q <= kTableLimit) {
+    mul_table_.resize(std::size_t{q} * q);
+    for (std::uint32_t a = 0; a < q; ++a) {
+      for (std::uint32_t b = 0; b < q; ++b) {
+        mul_table_[std::size_t{a} * q + b] =
+            static_cast<std::uint32_t>((std::uint64_t{a} * b) % q);
+      }
+    }
+    inv_table_.resize(q);
+    for (std::uint32_t a = 1; a < q; ++a) inv_table_[a] = pow(a, q - 2);
+  }
+}
+
+std::uint32_t Zq::pow(std::uint32_t a, std::uint64_t e) const {
+  std::uint64_t result = 1;
+  std::uint64_t base = a % q_;
+  while (e != 0) {
+    if (e & 1u) result = result * base % q_;
+    base = base * base % q_;
+    e >>= 1;
+  }
+  return static_cast<std::uint32_t>(result);
+}
+
+bool Zq::is_generator(std::uint32_t g) const {
+  if (g == 0) return false;
+  for (std::uint32_t p : prime_factors(q_ - 1)) {
+    if (pow(g, (q_ - 1) / p) == 1) return false;
+  }
+  return true;
+}
+
+std::uint32_t Zq::find_generator() const {
+  for (std::uint32_t g = 2; g < q_; ++g) {
+    if (is_generator(g)) return g;
+  }
+  DPRBG_CHECK(false && "no generator found (q not prime?)");
+  return 0;
+}
+
+std::uint32_t Zq::root_of_unity(std::uint32_t order) const {
+  DPRBG_CHECK(order != 0 && (q_ - 1) % order == 0);
+  const std::uint32_t g = find_generator();
+  return pow(g, (q_ - 1) / order);
+}
+
+bool Zq::is_prime(std::uint32_t n) {
+  if (n < 2) return false;
+  for (std::uint32_t p = 2; std::uint64_t{p} * p <= n; ++p) {
+    if (n % p == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace dprbg

@@ -1,0 +1,147 @@
+#include "net/cluster.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/check.h"
+
+namespace dprbg {
+
+namespace {
+
+// Approximate wire overhead per message (sender id + tag + length), used
+// for byte accounting only.
+constexpr std::uint64_t kHeaderBytes = 12;
+
+}  // namespace
+
+int PartyIo::n() const { return cluster_.n(); }
+int PartyIo::t() const { return cluster_.t(); }
+
+void PartyIo::send(int to, std::uint32_t tag,
+                   std::vector<std::uint8_t> body) {
+  if (to < 0 || to >= cluster_.n()) return;
+  if (to != id_) {
+    ++sent_.messages;
+    sent_.bytes += body.size() + kHeaderBytes;
+  }
+  staged_.push_back(Envelope{to, Msg{id_, tag, std::move(body)}});
+}
+
+void PartyIo::send_all(std::uint32_t tag,
+                       const std::vector<std::uint8_t>& body) {
+  for (int to = 0; to < cluster_.n(); ++to) {
+    send(to, tag, body);
+  }
+}
+
+const Inbox& PartyIo::sync() {
+  cluster_.arrive_and_exchange();
+  return inbox_;
+}
+
+Cluster::Cluster(int n, int t, std::uint64_t seed)
+    : n_(n), t_(t), seed_(seed) {
+  DPRBG_CHECK(n >= 1 && t >= 0 && t < n);
+  parties_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    parties_.push_back(std::unique_ptr<PartyIo>(new PartyIo(*this, i, seed)));
+  }
+}
+
+void Cluster::do_exchange() {
+  // Runs with mu_ held, all active threads quiescent. Collect every staged
+  // envelope, account communication, and deliver sorted inboxes.
+  std::vector<std::vector<Msg>> next(n_);
+  for (auto& p : parties_) {
+    for (auto& env : p->staged_buffer()) {
+      if (env.to != env.msg.from) {
+        ++comm_.messages;
+        comm_.bytes += env.msg.body.size() + kHeaderBytes;
+      }
+      next[env.to].push_back(std::move(env.msg));
+    }
+    p->staged_buffer().clear();
+  }
+  ++comm_.rounds;
+  for (int i = 0; i < n_; ++i) {
+    // Stable by send order; sort by (from, tag) so same-sender same-tag
+    // duplicates are adjacent and ordering is deterministic.
+    std::stable_sort(next[i].begin(), next[i].end(),
+                     [](const Msg& a, const Msg& b) {
+                       return a.from != b.from ? a.from < b.from
+                                               : a.tag < b.tag;
+                     });
+    parties_[i]->deliver(Inbox{std::move(next[i])});
+  }
+}
+
+void Cluster::arrive_and_exchange() {
+  std::unique_lock lk(mu_);
+  ++waiting_;
+  if (waiting_ == expected_) {
+    do_exchange();
+    waiting_ = 0;
+    ++generation_;
+    cv_.notify_all();
+  } else {
+    const std::uint64_t gen = generation_;
+    cv_.wait(lk, [&] { return generation_ != gen; });
+  }
+}
+
+void Cluster::drop() {
+  std::unique_lock lk(mu_);
+  --expected_;
+  if (expected_ > 0 && waiting_ == expected_) {
+    do_exchange();
+    waiting_ = 0;
+    ++generation_;
+    cv_.notify_all();
+  }
+}
+
+void Cluster::run(std::vector<Program> programs) {
+  DPRBG_CHECK(static_cast<int>(programs.size()) == n_);
+  {
+    std::unique_lock lk(mu_);
+    expected_ = n_;
+    waiting_ = 0;
+  }
+  per_player_field_ops_.assign(n_, FieldCounters{});
+
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  std::vector<std::thread> threads;
+  threads.reserve(n_);
+  for (int i = 0; i < n_; ++i) {
+    threads.emplace_back([&, i] {
+      const FieldCounters before = field_counters();
+      try {
+        programs[i](*parties_[i]);
+      } catch (...) {
+        std::lock_guard g(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      per_player_field_ops_[i] = field_counters() - before;
+      drop();
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (const auto& ops : per_player_field_ops_) field_ops_ += ops;
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void Cluster::run(const Program& honest, const std::vector<int>& faulty,
+                  const Program& adversary) {
+  std::vector<Program> programs(n_);
+  for (int i = 0; i < n_; ++i) programs[i] = honest;
+  for (int id : faulty) {
+    DPRBG_CHECK(id >= 0 && id < n_);
+    programs[id] = adversary ? adversary : [](PartyIo&) {};  // crash fault
+  }
+  run(std::move(programs));
+}
+
+}  // namespace dprbg

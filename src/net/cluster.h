@@ -1,0 +1,139 @@
+// A synchronous n-player cluster with private channels.
+//
+// Each player runs on its own thread; rounds advance in lockstep through a
+// barrier. Messages sent during round r are delivered (to everyone,
+// sorted deterministically) at the start of round r+1 — exactly the
+// synchronous model of Section 2. Byzantine players are ordinary programs
+// that misbehave; the honest code never trusts anything it receives
+// without validation.
+//
+// Determinism: every player gets an independent ChaCha20 stream derived
+// from (cluster seed, player id), inboxes are sorted by (from, tag, send
+// order), and threads only interact at barriers — a fixed seed replays an
+// identical execution.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/metrics.h"
+#include "net/msg.h"
+#include "rng/chacha.h"
+
+namespace dprbg {
+
+class Cluster;
+
+// Per-player handle passed to the player's program. All methods are called
+// only from that player's thread.
+class PartyIo {
+ public:
+  [[nodiscard]] int id() const { return id_; }
+  [[nodiscard]] int n() const;
+  [[nodiscard]] int t() const;
+  [[nodiscard]] Chacha& rng() { return rng_; }
+
+  // Queue a private message for delivery next round.
+  void send(int to, std::uint32_t tag, std::vector<std::uint8_t> body);
+  // Point-to-point "announce": send the same body to every player
+  // (including a free self-delivery). This is NOT a broadcast channel —
+  // a Byzantine sender can equivocate by calling send() per receiver.
+  void send_all(std::uint32_t tag, const std::vector<std::uint8_t>& body);
+
+  // End the round: block until all players arrive, then receive the
+  // messages sent to this player during the ended round.
+  const Inbox& sync();
+
+  // Messages delivered at the last sync().
+  [[nodiscard]] const Inbox& inbox() const { return inbox_; }
+
+  // Communication this player has sent so far (self-deliveries free).
+  [[nodiscard]] const CommCounters& sent() const { return sent_; }
+
+ private:
+  friend class Cluster;
+  PartyIo(Cluster& cluster, int id, std::uint64_t seed)
+      : cluster_(cluster), id_(id), rng_(seed, static_cast<std::uint64_t>(id)) {}
+
+  struct Envelope {
+    int to;
+    Msg msg;
+  };
+
+  std::vector<Envelope>& staged_buffer() { return staged_; }
+  void deliver(Inbox inbox) { inbox_ = std::move(inbox); }
+
+  Cluster& cluster_;
+  int id_;
+  Chacha rng_;
+  Inbox inbox_;
+  std::vector<Envelope> staged_;  // outgoing, merged at the barrier
+  CommCounters sent_;
+};
+
+class Cluster {
+ public:
+  using Program = std::function<void(PartyIo&)>;
+
+  // n players tolerating t faults; `seed` drives all player randomness.
+  Cluster(int n, int t, std::uint64_t seed);
+
+  // Runs one program per player to completion (spawns n threads; a program
+  // that returns early keeps participating in barriers so the rest can
+  // finish). Rethrows the first player exception, if any.
+  void run(std::vector<Program> programs);
+
+  // Convenience: every player runs `honest` except the ids in `faulty`,
+  // which run `adversary` (if null, faulty players crash immediately —
+  // they never send anything).
+  void run(const Program& honest, const std::vector<int>& faulty,
+           const Program& adversary);
+
+  [[nodiscard]] int n() const { return n_; }
+  [[nodiscard]] int t() const { return t_; }
+
+  // Aggregate communication across all players and all run() calls.
+  [[nodiscard]] const CommCounters& comm() const { return comm_; }
+  // Aggregate field-operation counts across all player threads.
+  [[nodiscard]] const FieldCounters& field_ops() const { return field_ops_; }
+  // Per-player field-operation counts from the last run().
+  [[nodiscard]] const std::vector<FieldCounters>& per_player_field_ops()
+      const {
+    return per_player_field_ops_;
+  }
+
+ private:
+  friend class PartyIo;
+
+  // Custom barrier with drop support: the last active thread to arrive
+  // performs the message exchange, then releases everyone. A player whose
+  // program returns "drops" — the barrier stops waiting for it, so
+  // crash-faulty or early-returning programs cannot deadlock the round.
+  void arrive_and_exchange();
+  void drop();
+  void do_exchange();  // called with mu_ held by exactly one thread
+
+  int n_;
+  int t_;
+  std::uint64_t seed_;
+
+  std::vector<std::unique_ptr<PartyIo>> parties_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int waiting_ = 0;
+  int expected_ = 0;  // active (not yet returned) player threads
+  std::uint64_t generation_ = 0;
+
+  CommCounters comm_;
+  FieldCounters field_ops_;
+  std::vector<FieldCounters> per_player_field_ops_;
+};
+
+}  // namespace dprbg

@@ -1,0 +1,43 @@
+// Wall-clock latency model for deployments.
+//
+// The simulator runs all players in one process, so measured wall time
+// reflects computation only. In a real deployment the synchronous rounds
+// dominate: each round costs one network traversal plus the time to push
+// the round's bytes through the slowest link. This model converts the
+// cluster's (rounds, bytes) metrics into wall-clock estimates for
+// standard settings — which is where the paper's amortization shines:
+// Coin-Gen's round count is CONSTANT in M, so the per-coin latency of a
+// large batch collapses to (almost) zero rounds per coin plus one
+// exposure round.
+
+#pragma once
+
+#include <string>
+
+#include "common/metrics.h"
+
+namespace dprbg {
+
+struct LatencyModel {
+  std::string name;
+  double one_way_ms;        // per-round network traversal
+  double bandwidth_mbps;    // per-player effective bandwidth
+};
+
+inline LatencyModel lan_model() { return {"LAN", 0.05, 10000}; }
+inline LatencyModel wan_model() { return {"WAN (regional)", 25, 1000}; }
+inline LatencyModel global_model() { return {"WAN (global)", 75, 100}; }
+
+// Estimated wall-clock milliseconds for a protocol execution that used
+// `comm` network resources, with `n` players sharing the byte volume
+// (every player pushes ~bytes/n through its own link each round).
+inline double estimate_wall_ms(const CommCounters& comm, int n,
+                               const LatencyModel& model) {
+  const double traversal = static_cast<double>(comm.rounds) * model.one_way_ms;
+  const double per_player_bytes = static_cast<double>(comm.bytes) / n;
+  const double transfer_ms =
+      per_player_bytes * 8.0 / (model.bandwidth_mbps * 1000.0);
+  return traversal + transfer_ms;
+}
+
+}  // namespace dprbg

@@ -1,0 +1,85 @@
+// Protocol messages and tagging.
+//
+// The model (Section 2): a synchronous network of n players communicating
+// over private point-to-point channels. A message carries an opaque body
+// plus a 32-bit tag that multiplexes concurrent protocol instances (e.g.
+// the n parallel Bit-Gen invocations inside Coin-Gen, Fig. 5 step 3).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace dprbg {
+
+// Top-level protocol identifiers for tag composition.
+enum class ProtoId : std::uint8_t {
+  kTrustedDealer = 1,
+  kCoinExpose = 2,
+  kVss = 3,
+  kBatchVss = 4,
+  kBitGen = 5,
+  kGradeCast = 6,
+  kPhaseKing = 7,
+  kCoinGen = 8,
+  kRandomizedBa = 9,
+  kBaselineCoin = 10,
+  kApp = 15,
+};
+
+// tag = proto(8) | instance(12) | phase(8) | sub(4). `instance`
+// distinguishes parallel invocations (e.g. dealer index, coin index);
+// `phase` the round/step within a protocol; `sub` nested sub-usage.
+constexpr std::uint32_t make_tag(ProtoId proto, unsigned instance,
+                                 unsigned phase, unsigned sub = 0) {
+  return (static_cast<std::uint32_t>(proto) << 24) |
+         ((instance & 0xFFFu) << 12) | ((phase & 0xFFu) << 4) | (sub & 0xFu);
+}
+
+struct Msg {
+  int from = -1;
+  std::uint32_t tag = 0;
+  std::vector<std::uint8_t> body;
+};
+
+// One round's worth of delivered messages, sorted by (from, tag, send
+// order) for determinism.
+class Inbox {
+ public:
+  explicit Inbox(std::vector<Msg> msgs) : msgs_(std::move(msgs)) {}
+  Inbox() = default;
+
+  [[nodiscard]] const std::vector<Msg>& all() const { return msgs_; }
+
+  // First message from `sender` with `tag`, if any. A Byzantine sender may
+  // send several; taking the first is a fixed deterministic rule shared by
+  // all honest players only when the sender sends the same multiplicity to
+  // everyone — protocols treat duplicates as a faulty sender and the first
+  // message as its "announced" value.
+  [[nodiscard]] const Msg* from(int sender, std::uint32_t tag) const {
+    for (const Msg& m : msgs_) {
+      if (m.from == sender && m.tag == tag) return &m;
+    }
+    return nullptr;
+  }
+
+  // All messages carrying `tag`, at most one per sender (first wins).
+  [[nodiscard]] std::vector<const Msg*> with_tag(std::uint32_t tag) const {
+    std::vector<const Msg*> out;
+    int last_from = -1;
+    for (const Msg& m : msgs_) {
+      if (m.tag != tag) continue;
+      if (m.from == last_from) continue;  // duplicate from same sender
+      last_from = m.from;
+      out.push_back(&m);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<Msg> msgs_;
+};
+
+}  // namespace dprbg

@@ -1,0 +1,108 @@
+// Lagrange interpolation ("the basic solution ... compute the unique
+// polynomial that they define (using, say, the Lagrange method)", §3.1).
+//
+// Two entry points: full interpolation returning the polynomial, and
+// evaluation of the interpolating polynomial at a single target point
+// (the common case is reconstructing the secret f(0) from shares). Both
+// bump the `interpolations` metric once, matching the paper's habit of
+// counting "polynomial interpolations" as a unit of work.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "common/metrics.h"
+#include "gf/field_concept.h"
+#include "poly/polynomial.h"
+
+namespace dprbg {
+
+template <FiniteField F>
+struct PointValue {
+  F x;
+  F y;
+};
+
+// The unique polynomial of degree < points.size() through the given points
+// (x-coordinates must be distinct).
+template <FiniteField F>
+Polynomial<F> lagrange_interpolate(std::span<const PointValue<F>> points) {
+  count_interpolation();
+  const std::size_t n = points.size();
+  DPRBG_CHECK(n > 0);
+  // Sum of y_i * prod_{j != i} (x - x_j) / (x_i - x_j), built with O(n^2)
+  // coefficient arithmetic via the "master" product trick:
+  //   N(x) = prod_j (x - x_j);  L_i(x) = N(x) / (x - x_i) * w_i,
+  // where w_i = prod_{j != i} (x_i - x_j)^{-1} (barycentric weights).
+  std::vector<F> master(n + 1, F::zero());
+  master[0] = F::one();
+  std::size_t deg = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    // master *= (x - x_j)
+    for (std::size_t i = deg + 1; i-- > 0;) {
+      F carry = master[i];
+      master[i] = (i > 0 ? master[i - 1] : F::zero()) - carry * points[j].x;
+    }
+    master[deg + 1] = F::one();
+    ++deg;
+  }
+  std::vector<F> result(n, F::zero());
+  std::vector<F> quotient(n, F::zero());
+  for (std::size_t i = 0; i < n; ++i) {
+    F w = F::one();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) w = w * (points[i].x - points[j].x);
+    }
+    const F scale = points[i].y * w.inv();
+    // Synthetic division: quotient = master / (x - x_i).
+    F carry = master[n];
+    for (std::size_t k = n; k-- > 0;) {
+      quotient[k] = carry;
+      carry = master[k] + carry * points[i].x;
+    }
+    // carry is now the remainder master(x_i) = 0 (distinct x's).
+    for (std::size_t k = 0; k < n; ++k) {
+      result[k] = result[k] + scale * quotient[k];
+    }
+  }
+  return Polynomial<F>{std::move(result)};
+}
+
+// Evaluate the interpolating polynomial at `target` without materializing
+// it: sum of y_i * prod_{j != i} (target - x_j)/(x_i - x_j).
+template <FiniteField F>
+F interpolate_at(std::span<const PointValue<F>> points, F target) {
+  count_interpolation();
+  DPRBG_CHECK(!points.empty());
+  F acc = F::zero();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    F num = F::one();
+    F den = F::one();
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (j == i) continue;
+      num = num * (target - points[j].x);
+      den = den * (points[i].x - points[j].x);
+    }
+    acc = acc + points[i].y * num * den.inv();
+  }
+  return acc;
+}
+
+// Checks whether the given points lie on a single polynomial of degree at
+// most `max_degree` (the degree test of Problem 1): interpolate through
+// the first max_degree+1 points and verify the rest.
+template <FiniteField F>
+bool is_degree_at_most(std::span<const PointValue<F>> points,
+                       unsigned max_degree) {
+  if (points.size() <= max_degree + 1) return true;
+  const auto head = points.first(max_degree + 1);
+  const Polynomial<F> f = lagrange_interpolate<F>(head);
+  for (std::size_t i = max_degree + 1; i < points.size(); ++i) {
+    if (f(points[i].x) != points[i].y) return false;
+  }
+  return true;
+}
+
+}  // namespace dprbg

@@ -1,0 +1,84 @@
+// Dense linear algebra over a FiniteField: Gaussian elimination with
+// partial pivoting (any nonzero pivot works in a field). Only needed by
+// the Berlekamp-Welch decoder, whose systems have O(n) unknowns.
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/check.h"
+#include "gf/field_concept.h"
+
+namespace dprbg {
+
+// Row-major dense matrix.
+template <FiniteField F>
+class Matrix {
+ public:
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, F::zero()) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  F& at(std::size_t r, std::size_t c) {
+    DPRBG_CHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] const F& at(std::size_t r, std::size_t c) const {
+    DPRBG_CHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+ private:
+  std::size_t rows_, cols_;
+  std::vector<F> data_;
+};
+
+// Solves A x = b. Returns nullopt when the system is inconsistent; when it
+// is underdetermined, free variables are set to zero (any solution of the
+// Berlekamp-Welch key equation yields the same decoded polynomial, so a
+// particular solution suffices).
+template <FiniteField F>
+std::optional<std::vector<F>> solve_linear(Matrix<F> a, std::vector<F> b) {
+  DPRBG_CHECK(a.rows() == b.size());
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  std::vector<std::size_t> pivot_col_of_row;
+  std::size_t row = 0;
+  for (std::size_t col = 0; col < n && row < m; ++col) {
+    // Find a pivot in this column.
+    std::size_t piv = row;
+    while (piv < m && a.at(piv, col).is_zero()) ++piv;
+    if (piv == m) continue;
+    if (piv != row) {
+      for (std::size_t c = col; c < n; ++c) std::swap(a.at(row, c), a.at(piv, c));
+      std::swap(b[row], b[piv]);
+    }
+    const F inv = a.at(row, col).inv();
+    for (std::size_t c = col; c < n; ++c) a.at(row, c) = a.at(row, c) * inv;
+    b[row] = b[row] * inv;
+    for (std::size_t r = 0; r < m; ++r) {
+      if (r == row || a.at(r, col).is_zero()) continue;
+      const F factor = a.at(r, col);
+      for (std::size_t c = col; c < n; ++c) {
+        a.at(r, c) = a.at(r, c) - factor * a.at(row, c);
+      }
+      b[r] = b[r] - factor * b[row];
+    }
+    pivot_col_of_row.push_back(col);
+    ++row;
+  }
+  // Inconsistency: a zero row with nonzero rhs.
+  for (std::size_t r = row; r < m; ++r) {
+    if (!b[r].is_zero()) return std::nullopt;
+  }
+  std::vector<F> x(n, F::zero());
+  for (std::size_t r = 0; r < pivot_col_of_row.size(); ++r) {
+    x[pivot_col_of_row[r]] = b[r];
+  }
+  return x;
+}
+
+}  // namespace dprbg

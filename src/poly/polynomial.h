@@ -1,0 +1,137 @@
+// Dense univariate polynomials over a FiniteField.
+//
+// Coefficients are stored low-degree-first with no trailing zeros, so the
+// zero polynomial is the empty vector and degree() of a nonzero polynomial
+// is coeffs().size() - 1. The protocols only ever need degree-t secret
+// polynomials (t < n <= 64), so all operations are simple dense loops.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "gf/field_concept.h"
+#include "rng/chacha.h"
+
+namespace dprbg {
+
+template <FiniteField F>
+class Polynomial {
+ public:
+  Polynomial() = default;
+  explicit Polynomial(std::vector<F> coeffs) : coeffs_(std::move(coeffs)) {
+    trim();
+  }
+  static Polynomial constant(F c) { return Polynomial{{c}}; }
+
+  // Uniformly random polynomial of degree <= deg (exactly `deg + 1` random
+  // coefficients). This is the dealer's sharing polynomial: the secret is
+  // the constant term f(0).
+  static Polynomial random(unsigned deg, Chacha& rng) {
+    std::vector<F> c(deg + 1);
+    for (auto& x : c) x = random_element<F>(rng);
+    return Polynomial{std::move(c)};
+  }
+  // Random polynomial of degree <= deg with a prescribed secret f(0).
+  static Polynomial random_with_secret(F secret, unsigned deg, Chacha& rng) {
+    Polynomial p = random(deg, rng);
+    if (p.coeffs_.empty()) p.coeffs_.resize(1);
+    p.coeffs_[0] = secret;
+    p.trim();
+    return p;
+  }
+
+  [[nodiscard]] bool is_zero() const { return coeffs_.empty(); }
+  // Degree of the zero polynomial is reported as -1.
+  [[nodiscard]] int degree() const {
+    return static_cast<int>(coeffs_.size()) - 1;
+  }
+  [[nodiscard]] const std::vector<F>& coeffs() const { return coeffs_; }
+  [[nodiscard]] F coeff(std::size_t i) const {
+    if (i >= coeffs_.size()) return F::zero();
+    return coeffs_[i];
+  }
+
+  // Horner evaluation.
+  [[nodiscard]] F operator()(F x) const {
+    F acc = F::zero();
+    for (std::size_t i = coeffs_.size(); i-- > 0;) {
+      acc = acc * x + coeffs_[i];
+    }
+    return acc;
+  }
+
+  friend Polynomial operator+(const Polynomial& a, const Polynomial& b) {
+    std::vector<F> c(std::max(a.coeffs_.size(), b.coeffs_.size()),
+                     F::zero());
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      c[i] = a.coeff(i) + b.coeff(i);
+    }
+    return Polynomial{std::move(c)};
+  }
+  friend Polynomial operator-(const Polynomial& a, const Polynomial& b) {
+    std::vector<F> c(std::max(a.coeffs_.size(), b.coeffs_.size()),
+                     F::zero());
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      c[i] = a.coeff(i) - b.coeff(i);
+    }
+    return Polynomial{std::move(c)};
+  }
+  friend Polynomial operator*(const Polynomial& a, const Polynomial& b) {
+    if (a.is_zero() || b.is_zero()) return {};
+    std::vector<F> c(a.coeffs_.size() + b.coeffs_.size() - 1, F::zero());
+    for (std::size_t i = 0; i < a.coeffs_.size(); ++i) {
+      for (std::size_t j = 0; j < b.coeffs_.size(); ++j) {
+        c[i + j] = c[i + j] + a.coeffs_[i] * b.coeffs_[j];
+      }
+    }
+    return Polynomial{std::move(c)};
+  }
+  friend Polynomial operator*(F s, const Polynomial& p) {
+    std::vector<F> c(p.coeffs_);
+    for (auto& x : c) x = s * x;
+    return Polynomial{std::move(c)};
+  }
+
+  // Quotient and remainder of *this by a nonzero divisor.
+  struct DivMod {
+    Polynomial quotient;
+    Polynomial remainder;
+  };
+  [[nodiscard]] DivMod divmod(const Polynomial& d) const {
+    DPRBG_CHECK(!d.is_zero());
+    std::vector<F> rem = coeffs_;
+    std::vector<F> quot(
+        coeffs_.size() >= d.coeffs_.size()
+            ? coeffs_.size() - d.coeffs_.size() + 1
+            : 0,
+        F::zero());
+    const F lead_inv = d.coeffs_.back().inv();
+    for (std::size_t i = rem.size(); i-- > 0;) {
+      if (i + 1 < d.coeffs_.size()) break;
+      const F factor = rem[i] * lead_inv;
+      if (factor.is_zero()) continue;
+      const std::size_t shift = i + 1 - d.coeffs_.size();
+      quot[shift] = factor;
+      for (std::size_t j = 0; j < d.coeffs_.size(); ++j) {
+        rem[shift + j] = rem[shift + j] - factor * d.coeffs_[j];
+      }
+    }
+    return {Polynomial{std::move(quot)}, Polynomial{std::move(rem)}};
+  }
+
+  friend bool operator==(const Polynomial& a, const Polynomial& b) {
+    return a.coeffs_ == b.coeffs_;
+  }
+
+ private:
+  void trim() {
+    while (!coeffs_.empty() && coeffs_.back().is_zero()) coeffs_.pop_back();
+  }
+
+  std::vector<F> coeffs_;
+};
+
+}  // namespace dprbg

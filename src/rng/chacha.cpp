@@ -1,0 +1,97 @@
+#include "rng/chacha.h"
+
+#include <bit>
+#include <cstring>
+
+namespace dprbg {
+
+namespace {
+
+inline void quarter_round(std::uint32_t& a, std::uint32_t& b,
+                          std::uint32_t& c, std::uint32_t& d) noexcept {
+  a += b;
+  d = std::rotl(d ^ a, 16);
+  c += d;
+  b = std::rotl(b ^ c, 12);
+  a += b;
+  d = std::rotl(d ^ a, 8);
+  c += d;
+  b = std::rotl(b ^ c, 7);
+}
+
+}  // namespace
+
+Chacha::Chacha(std::uint64_t seed, std::uint64_t stream) noexcept {
+  // "expand 32-byte k" constants.
+  state_[0] = 0x61707865;
+  state_[1] = 0x3320646e;
+  state_[2] = 0x79622d32;
+  state_[3] = 0x6b206574;
+  // 256-bit key derived from (seed, stream) by simple expansion; the goal
+  // is deterministic independence between streams, not secrecy.
+  std::uint64_t x = seed;
+  for (int i = 0; i < 4; ++i) {
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x ^ (stream * 0xbf58476d1ce4e5b9ull + i);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    state_[4 + 2 * i] = static_cast<std::uint32_t>(z);
+    state_[5 + 2 * i] = static_cast<std::uint32_t>(z >> 32);
+  }
+  // Counter (words 12-13) starts at zero; nonce (words 14-15) = stream.
+  state_[12] = 0;
+  state_[13] = 0;
+  state_[14] = static_cast<std::uint32_t>(stream);
+  state_[15] = static_cast<std::uint32_t>(stream >> 32);
+}
+
+void Chacha::refill() noexcept {
+  block_ = state_;
+  for (int round = 0; round < 10; ++round) {  // 20 rounds: 10 double-rounds
+    quarter_round(block_[0], block_[4], block_[8], block_[12]);
+    quarter_round(block_[1], block_[5], block_[9], block_[13]);
+    quarter_round(block_[2], block_[6], block_[10], block_[14]);
+    quarter_round(block_[3], block_[7], block_[11], block_[15]);
+    quarter_round(block_[0], block_[5], block_[10], block_[15]);
+    quarter_round(block_[1], block_[6], block_[11], block_[12]);
+    quarter_round(block_[2], block_[7], block_[8], block_[13]);
+    quarter_round(block_[3], block_[4], block_[9], block_[14]);
+  }
+  for (int i = 0; i < 16; ++i) block_[i] += state_[i];
+  // 64-bit block counter.
+  if (++state_[12] == 0) ++state_[13];
+  pos_ = 0;
+}
+
+std::uint32_t Chacha::next_u32() noexcept {
+  if (pos_ >= 16) refill();
+  return block_[pos_++];
+}
+
+std::uint64_t Chacha::next_u64() noexcept {
+  const std::uint64_t lo = next_u32();
+  const std::uint64_t hi = next_u32();
+  return lo | (hi << 32);
+}
+
+std::uint64_t Chacha::uniform(std::uint64_t bound) noexcept {
+  // Rejection sampling: draw from the largest multiple of bound below 2^64.
+  const std::uint64_t threshold = (0 - bound) % bound;  // 2^64 mod bound
+  while (true) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+void Chacha::fill_bytes(std::span<std::uint8_t> out) noexcept {
+  std::size_t i = 0;
+  while (i < out.size()) {
+    const std::uint32_t w = next_u32();
+    const std::size_t take = std::min<std::size_t>(4, out.size() - i);
+    std::memcpy(out.data() + i, &w, take);
+    i += take;
+  }
+}
+
+}  // namespace dprbg

@@ -1,0 +1,52 @@
+// Shamir secret sharing [18], the paper's substrate for every sharing:
+// "the secret is the value of a polynomial at the origin, while the
+// players' shares are the values of the polynomial evaluated at the
+// players' id's" (Section 1.3).
+
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "gf/field_concept.h"
+#include "poly/berlekamp_welch.h"
+#include "poly/polynomial.h"
+#include "rng/chacha.h"
+
+namespace dprbg {
+
+// The field point at which player `player` (0-based) evaluates sharings.
+// Points are 1..n: nonzero (so shares never reveal f(0)) and distinct for
+// any n < 2^k.
+template <FiniteField F>
+F eval_point(int player) {
+  return F::from_uint(static_cast<std::uint64_t>(player) + 1);
+}
+
+// Shares f(1), ..., f(n); index i belongs to player i (0-based).
+template <FiniteField F>
+std::vector<F> deal_shares(const Polynomial<F>& f, int n) {
+  std::vector<F> shares(n);
+  for (int i = 0; i < n; ++i) shares[i] = f(eval_point<F>(i));
+  return shares;
+}
+
+// Fresh random degree-t sharing of `secret`.
+template <FiniteField F>
+std::vector<F> share_secret(F secret, unsigned t, int n, Chacha& rng) {
+  return deal_shares(Polynomial<F>::random_with_secret(secret, t, rng), n);
+}
+
+// Reconstructs the secret f(0) from (point, share) pairs, tolerating up to
+// `max_errors` corrupted shares via Berlekamp-Welch. Returns nullopt when
+// no degree-<=t polynomial is consistent with enough of the shares.
+template <FiniteField F>
+std::optional<F> reconstruct_secret(std::span<const PointValue<F>> shares,
+                                    unsigned t, unsigned max_errors) {
+  auto f = berlekamp_welch<F>(shares, t, max_errors);
+  if (!f) return std::nullopt;
+  return (*f)(F::zero());
+}
+
+}  // namespace dprbg

@@ -1,0 +1,186 @@
+// Tests for the baseline protocols: cut-and-choose VSS, naive from-
+// scratch coin, the continuous trusted-dealer stream, and the analytic
+// cost models of Section 1.4.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "baseline/cost_models.h"
+#include "baseline/cut_and_choose_vss.h"
+#include "baseline/dealer_stream.h"
+#include "baseline/naive_coin.h"
+#include "dprbg/trusted_dealer.h"
+#include "gf/gf2.h"
+#include "net/cluster.h"
+
+namespace dprbg {
+namespace {
+
+using F = GF2_64;
+
+TEST(CutAndChooseVssTest, HonestDealerAccepted) {
+  const int n = 7, t = 2;
+  auto coins = trusted_dealer_coins<F>(n, t, 1, 1);
+  Chacha dealer_rng(1, 777);
+  const auto poly = Polynomial<F>::random(t, dealer_rng);
+  std::vector<CutAndChooseOutcome<F>> outcomes(n);
+  Cluster cluster(n, t, 1);
+  cluster.run(std::vector<Cluster::Program>(n, [&](PartyIo& io) {
+    std::optional<Polynomial<F>> mine;
+    if (io.id() == 0) mine = poly;
+    outcomes[io.id()] =
+        cut_and_choose_vss<F>(io, 0, t, /*kappa=*/16, mine, coins[io.id()][0]);
+  }));
+  for (int i = 0; i < n; ++i) {
+    EXPECT_TRUE(outcomes[i].accepted) << "player " << i;
+    EXPECT_EQ(outcomes[i].share, poly(eval_point<F>(i)));
+  }
+}
+
+TEST(CutAndChooseVssTest, OverDegreeDealerRejectedWithHighProbability) {
+  // Per challenge the cheater survives with prob 1/2; with kappa = 16 the
+  // acceptance probability is 2^-16 — effectively never.
+  const int n = 7, t = 2;
+  auto coins = trusted_dealer_coins<F>(n, t, 1, 2);
+  Chacha dealer_rng(2, 777);
+  const auto poly = Polynomial<F>::random(t + 2, dealer_rng);
+  std::vector<CutAndChooseOutcome<F>> outcomes(n);
+  Cluster cluster(n, t, 2);
+  cluster.run(std::vector<Cluster::Program>(n, [&](PartyIo& io) {
+    std::optional<Polynomial<F>> mine;
+    if (io.id() == 0) mine = poly;
+    outcomes[io.id()] =
+        cut_and_choose_vss<F>(io, 0, t, 16, mine, coins[io.id()][0]);
+  }));
+  for (int i = 0; i < n; ++i) {
+    EXPECT_FALSE(outcomes[i].accepted) << "player " << i;
+  }
+}
+
+TEST(CutAndChooseVssTest, CostsKappaInterpolations) {
+  // The baseline's defining inefficiency vs Fig. 2's single check.
+  const int n = 7, t = 2;
+  const unsigned kappa = 8;
+  auto coins = trusted_dealer_coins<F>(n, t, 1, 3);
+  Chacha dealer_rng(3, 777);
+  const auto poly = Polynomial<F>::random(t, dealer_rng);
+  Cluster cluster(n, t, 3);
+  cluster.run(std::vector<Cluster::Program>(n, [&](PartyIo& io) {
+    std::optional<Polynomial<F>> mine;
+    if (io.id() == 0) mine = poly;
+    (void)cut_and_choose_vss<F>(io, 0, t, kappa, mine, coins[io.id()][0]);
+  }));
+  for (int i = 0; i < n; ++i) {
+    // kappa reveal checks + 1 coin exposure.
+    EXPECT_GE(cluster.per_player_field_ops()[i].interpolations, kappa);
+    EXPECT_LE(cluster.per_player_field_ops()[i].interpolations, kappa + 1);
+  }
+}
+
+TEST(NaiveCoinTest, UnanimousWhenHonest) {
+  const int n = 7, t = 2;
+  std::vector<std::optional<F>> coins(n);
+  Cluster cluster(n, t, 4);
+  cluster.run(std::vector<Cluster::Program>(n, [&](PartyIo& io) {
+    coins[io.id()] = naive_coin<F>(io, t);
+  }));
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(coins[i].has_value());
+    EXPECT_EQ(*coins[i], *coins[0]);
+  }
+}
+
+TEST(NaiveCoinTest, SequentialCoinsDiffer) {
+  std::vector<F> first(7), second(7);
+  Cluster cluster(7, 2, 5);
+  cluster.run(std::vector<Cluster::Program>(7, [&](PartyIo& io) {
+    first[io.id()] = *naive_coin<F>(io, 2, 0);
+    second[io.id()] = *naive_coin<F>(io, 2, 1);
+  }));
+  EXPECT_NE(first[0], second[0]);
+}
+
+TEST(NaiveCoinTest, CostsNInterpolationsPerCoin) {
+  const int n = 7, t = 2;
+  Cluster cluster(n, t, 6);
+  cluster.run(std::vector<Cluster::Program>(n, [&](PartyIo& io) {
+    (void)naive_coin<F>(io, t);
+  }));
+  for (int i = 0; i < n; ++i) {
+    EXPECT_GE(cluster.per_player_field_ops()[i].interpolations,
+              static_cast<std::uint64_t>(n));
+  }
+}
+
+TEST(NaiveCoinTest, SurvivesCrashedDealers) {
+  const int n = 7, t = 2;
+  std::vector<std::optional<F>> coins(n);
+  Cluster cluster(n, t, 7);
+  cluster.run(
+      [&](PartyIo& io) { coins[io.id()] = naive_coin<F>(io, t); },
+      {1, 4}, nullptr);
+  for (int i = 0; i < n; ++i) {
+    if (i == 1 || i == 4) continue;
+    ASSERT_TRUE(coins[i].has_value());
+    EXPECT_EQ(*coins[i], *coins[2]);
+  }
+}
+
+TEST(DealerStreamTest, ProvidesUnanimousCoinsForever) {
+  const int n = 7, t = 2;
+  const int draws = 25;
+  std::vector<std::vector<F>> streams(n);
+  std::vector<std::uint64_t> visits(n);
+  Cluster cluster(n, t, 8);
+  cluster.run(std::vector<Cluster::Program>(n, [&](PartyIo& io) {
+    DealerStream<F> dealer(n, t, io.id(), /*provision=*/8, /*seed=*/999);
+    for (int d = 0; d < draws; ++d) {
+      streams[io.id()].push_back(*dealer.next_coin(io));
+    }
+    visits[io.id()] = dealer.dealer_visits();
+  }));
+  for (int d = 0; d < draws; ++d) {
+    for (int i = 1; i < n; ++i) {
+      EXPECT_EQ(streams[i][d], streams[0][d]);
+    }
+  }
+  // The defining weakness: the dealer is revisited again and again.
+  EXPECT_EQ(visits[0], 4u);  // ceil(25 / 8)
+}
+
+TEST(CostModelsTest, AsymptoticOrderingMatchesSection14) {
+  // The paper's claim: the D-PRBG's amortized per-coin cost beats every
+  // from-scratch protocol it compares against, at any realistic scale.
+  for (int n : {7, 13, 25, 49}) {
+    const auto fm = feldman_micali_model(n, 64);
+    const auto ours = dprbg_model(n, 64, /*m=*/128);
+    EXPECT_LT(ours.ops_per_coin, fm.ops_per_coin) << "n=" << n;
+    EXPECT_LT(ours.messages_per_coin, fm.messages_per_coin) << "n=" << n;
+  }
+}
+
+TEST(CostModelsTest, ResilienceAndAssumptions) {
+  const auto models = all_models(13, 64, 128);
+  ASSERT_EQ(models.size(), 4u);
+  // Beaver-So: best resilience but needs complexity assumptions.
+  EXPECT_TRUE(models[1].needs_complexity_assumptions);
+  EXPECT_GT(models[1].max_t, models[0].max_t);
+  // Feldman-Micali and DSS: not all players see the coin.
+  EXPECT_FALSE(models[0].all_players_see_coin);
+  EXPECT_FALSE(models[2].all_players_see_coin);
+  // Ours: unanimous, no assumptions.
+  EXPECT_TRUE(models[3].all_players_see_coin);
+  EXPECT_FALSE(models[3].needs_complexity_assumptions);
+}
+
+TEST(CostModelsTest, AmortizationImprovesWithM) {
+  const auto small = dprbg_model(13, 64, 1);
+  const auto large = dprbg_model(13, 64, 1024);
+  EXPECT_GT(small.messages_per_coin, large.messages_per_coin);
+}
+
+}  // namespace
+}  // namespace dprbg

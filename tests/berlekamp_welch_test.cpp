@@ -1,0 +1,162 @@
+// Tests for the Berlekamp-Welch decoder [5], the error-tolerant
+// interpolation at the heart of Bit-Gen and Coin-Expose.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gf/gf2.h"
+#include "poly/berlekamp_welch.h"
+#include "poly/polynomial.h"
+#include "rng/chacha.h"
+
+namespace dprbg {
+namespace {
+
+using F = GF2_32;
+using P = Polynomial<F>;
+
+F fe(std::uint64_t v) { return F::from_uint(v); }
+
+std::vector<PointValue<F>> sample(const P& p, int n) {
+  std::vector<PointValue<F>> pts;
+  for (int i = 1; i <= n; ++i) pts.push_back({fe(i), p(fe(i))});
+  return pts;
+}
+
+// Corrupts `count` distinct positions with fresh random wrong values.
+void corrupt(std::vector<PointValue<F>>& pts, int count, Chacha& rng) {
+  for (int c = 0; c < count; ++c) {
+    auto& pv = pts[c * 2 % pts.size()];  // distinct for count <= size/2
+    F bad = random_element<F>(rng);
+    while (bad == pv.y) bad = random_element<F>(rng);
+    pv.y = bad;
+  }
+}
+
+TEST(BerlekampWelchTest, DecodesCleanPoints) {
+  Chacha rng(1);
+  const P p = P::random(3, rng);
+  const auto pts = sample(p, 10);
+  const auto decoded = berlekamp_welch<F>(pts, 3, 3);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, p);
+}
+
+// Decoding succeeds for any error count e as long as n >= d + 2e + 1:
+// the PODC'96 setting is n = 3t+1 points, degree t, up to t errors.
+class BwSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BwSweep, DecodesWithErrors) {
+  const auto [deg, errors] = GetParam();
+  const int n = deg + 2 * errors + 1;
+  Chacha rng(100 + deg * 17 + errors);
+  for (int trial = 0; trial < 10; ++trial) {
+    const P p = P::random(deg, rng);
+    auto pts = sample(p, n);
+    corrupt(pts, errors, rng);
+    const auto decoded = berlekamp_welch<F>(pts, deg, errors);
+    ASSERT_TRUE(decoded.has_value())
+        << "deg=" << deg << " errors=" << errors << " trial=" << trial;
+    EXPECT_EQ(*decoded, p);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DegreeErrorGrid, BwSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 8),
+                       ::testing::Values(0, 1, 2, 4)));
+
+TEST(BerlekampWelchTest, PodcParameters) {
+  // The paper's reconstruction setting: |S| = 3t+1 points, polynomial of
+  // degree t, up to t of the points corrupted by faulty players.
+  for (int t = 1; t <= 5; ++t) {
+    Chacha rng(200 + t);
+    const P p = P::random(t, rng);
+    auto pts = sample(p, 3 * t + 1);
+    corrupt(pts, t, rng);
+    const auto decoded = berlekamp_welch<F>(pts, t, t);
+    ASSERT_TRUE(decoded.has_value()) << "t=" << t;
+    EXPECT_EQ(*decoded, p);
+  }
+}
+
+TEST(BerlekampWelchTest, RejectsOverDegreePolynomial) {
+  // A cheating dealer's degree-(t+1) sharing must not decode as degree t
+  // when enough honest points pin it down.
+  Chacha rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    P p = P::random(5, rng);
+    while (p.degree() < 5) p = P::random(5, rng);
+    const auto pts = sample(p, 10);  // clean but over-degree
+    const auto decoded = berlekamp_welch<F>(pts, 3, 1);
+    // Either decoding fails, or the decoded polynomial would need > 1
+    // disagreements — the implementation checks this, so it must fail.
+    EXPECT_FALSE(decoded.has_value()) << "trial=" << trial;
+  }
+}
+
+TEST(BerlekampWelchTest, TooManyErrorsFailsGracefully) {
+  Chacha rng(4);
+  const P p = P::random(2, rng);
+  auto pts = sample(p, 7);  // supports e <= 2 for degree 2
+  corrupt(pts, 3, rng);
+  // With max_errors=2 the decoder must not hallucinate agreement.
+  const auto decoded = berlekamp_welch<F>(pts, 2, 2);
+  if (decoded.has_value()) {
+    // If decoding "succeeded" the result must still disagree with at most
+    // 2 points, i.e. it found some valid nearby codeword. Verify that
+    // claim independently.
+    int disagreements = 0;
+    for (const auto& pv : pts) {
+      if ((*decoded)(pv.x) != pv.y) ++disagreements;
+    }
+    EXPECT_LE(disagreements, 2);
+  }
+}
+
+TEST(BerlekampWelchTest, FewerPointsThanDegreeFails) {
+  Chacha rng(5);
+  const P p = P::random(5, rng);
+  const auto pts = sample(p, 4);
+  EXPECT_FALSE(berlekamp_welch<F>(pts, 5, 0).has_value());
+}
+
+TEST(BerlekampWelchTest, ZeroPolynomialDecodes) {
+  std::vector<PointValue<F>> pts;
+  for (int i = 1; i <= 7; ++i) pts.push_back({fe(i), F::zero()});
+  const auto decoded = berlekamp_welch<F>(pts, 2, 2);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->is_zero());
+}
+
+TEST(BerlekampWelchTest, ErrorPositionsDoNotMatter) {
+  Chacha rng(6);
+  const P p = P::random(2, rng);
+  for (std::size_t pos = 0; pos < 7; ++pos) {
+    auto pts = sample(p, 7);
+    pts[pos].y = pts[pos].y + fe(1);
+    const auto decoded = berlekamp_welch<F>(pts, 2, 2);
+    ASSERT_TRUE(decoded.has_value()) << "pos=" << pos;
+    EXPECT_EQ(*decoded, p);
+  }
+}
+
+TEST(BerlekampWelchTest, SmallFieldDecoding) {
+  // Everything still works over GF(2^8), the soundness-experiment field.
+  using F8 = GF2_8;
+  Chacha rng(7);
+  const auto p = Polynomial<F8>::random(2, rng);
+  std::vector<PointValue<F8>> pts;
+  for (int i = 1; i <= 7; ++i) {
+    pts.push_back({F8::from_uint(i), p(F8::from_uint(i))});
+  }
+  pts[1].y = pts[1].y + F8::one();
+  pts[4].y = pts[4].y + F8::from_uint(17);
+  const auto decoded = berlekamp_welch<F8>(pts, 2, 2);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, p);
+}
+
+}  // namespace
+}  // namespace dprbg

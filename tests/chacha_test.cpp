@@ -1,0 +1,121 @@
+// Tests for the ChaCha20-based deterministic CSPRNG.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "gf/gf2.h"
+#include "rng/chacha.h"
+
+namespace dprbg {
+namespace {
+
+TEST(ChachaTest, DeterministicUnderSeed) {
+  Chacha a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(ChachaTest, StreamsAreIndependent) {
+  Chacha a(42, 0), b(42, 1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(ChachaTest, DifferentSeedsDiffer) {
+  Chacha a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(ChachaTest, BitBalance) {
+  // Each of the 64 bit positions should be ~50% ones over many draws.
+  Chacha rng(7);
+  constexpr int kDraws = 20000;
+  std::array<int, 64> ones{};
+  for (int i = 0; i < kDraws; ++i) {
+    std::uint64_t v = rng.next_u64();
+    for (int b = 0; b < 64; ++b) ones[b] += (v >> b) & 1;
+  }
+  for (int b = 0; b < 64; ++b) {
+    const double frac = double(ones[b]) / kDraws;
+    EXPECT_NEAR(frac, 0.5, 0.02) << "bit " << b;
+  }
+}
+
+TEST(ChachaTest, UniformBoundIsRespectedAndRoughlyUniform) {
+  Chacha rng(11);
+  constexpr std::uint64_t kBound = 10;
+  std::array<int, kBound> counts{};
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    const std::uint64_t v = rng.uniform(kBound);
+    ASSERT_LT(v, kBound);
+    ++counts[v];
+  }
+  for (std::uint64_t v = 0; v < kBound; ++v) {
+    EXPECT_NEAR(double(counts[v]) / kDraws, 0.1, 0.02);
+  }
+}
+
+TEST(ChachaTest, FillBytesCoversPartialWords) {
+  Chacha a(3), b(3);
+  std::vector<std::uint8_t> buf(13);
+  a.fill_bytes(buf);
+  // Consuming the same stream word-wise must produce the same prefix.
+  std::vector<std::uint8_t> expected;
+  while (expected.size() < 13) {
+    const std::uint32_t w = b.next_u32();
+    for (int i = 0; i < 4 && expected.size() < 13; ++i) {
+      expected.push_back(static_cast<std::uint8_t>(w >> (8 * i)));
+    }
+  }
+  EXPECT_EQ(buf, expected);
+}
+
+TEST(ChachaTest, NoShortCycles) {
+  Chacha rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) seen.insert(rng.next_u64());
+  EXPECT_EQ(seen.size(), 10000u);  // birthday collision over 2^64 ~ never
+}
+
+TEST(ChachaTest, RandomFieldElementIsInRange) {
+  Chacha rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const auto e = random_element<GF2_8>(rng);
+    EXPECT_LE(e.to_uint(), 0xFFu);
+  }
+}
+
+TEST(ChachaTest, RandomNonzeroNeverZero) {
+  Chacha rng(10);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(random_nonzero<GF2<4>>(rng).is_zero());
+  }
+}
+
+TEST(ChachaTest, FieldElementDistributionRoughlyUniform) {
+  // Chi-squared-ish sanity over GF(2^4): 16 buckets.
+  Chacha rng(13);
+  std::array<int, 16> counts{};
+  constexpr int kDraws = 64000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[random_element<GF2<4>>(rng).to_uint()];
+  }
+  for (int v = 0; v < 16; ++v) {
+    EXPECT_NEAR(double(counts[v]) / kDraws, 1.0 / 16, 0.01);
+  }
+}
+
+}  // namespace
+}  // namespace dprbg

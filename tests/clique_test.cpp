@@ -1,0 +1,120 @@
+// Tests for the matching-based clique approximation (Fig. 5 step 6,
+// Garey & Johnson p. 134).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "coin/clique.h"
+#include "rng/chacha.h"
+
+namespace dprbg {
+namespace {
+
+Graph complete_graph(int n) {
+  Graph g(n);
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) g.add_edge(a, b);
+  }
+  return g;
+}
+
+// Graph where the `faulty` set has arbitrary (here: no) edges and all
+// honest pairs are connected — the structure Coin-Gen produces.
+Graph honest_core_graph(int n, const std::set<int>& faulty) {
+  Graph g(n);
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      if (!faulty.count(a) && !faulty.count(b)) g.add_edge(a, b);
+    }
+  }
+  return g;
+}
+
+TEST(CliqueTest, CompleteGraphGivesAllVertices) {
+  const auto clique = find_large_clique(complete_graph(7));
+  EXPECT_EQ(clique.size(), 7u);
+}
+
+TEST(CliqueTest, SingleVertex) {
+  Graph g(1);
+  EXPECT_EQ(find_large_clique(g).size(), 1u);
+}
+
+TEST(CliqueTest, HonestCoreGuarantee) {
+  // With every complement edge touching a faulty vertex, the clique found
+  // has size >= n - 2t.
+  for (int t : {1, 2, 3}) {
+    const int n = 6 * t + 1;
+    std::set<int> faulty;
+    for (int i = 0; i < t; ++i) faulty.insert(i * 2);
+    const Graph g = honest_core_graph(n, faulty);
+    const auto clique = find_large_clique(g);
+    EXPECT_GE(clique.size(), static_cast<std::size_t>(n - 2 * t))
+        << "t=" << t;
+    EXPECT_TRUE(g.is_clique(clique));
+  }
+}
+
+TEST(CliqueTest, FaultyWithPartialEdgesStillLargeClique) {
+  // Faulty players connected to *some* honest players (the realistic
+  // Coin-Gen case): the guarantee still holds.
+  Chacha rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = 13, t = 2;
+    const std::set<int> faulty = {3, 8};
+    Graph g = honest_core_graph(n, faulty);
+    for (int f : faulty) {
+      for (int b = 0; b < n; ++b) {
+        if (b != f && rng.next_u32() % 2 == 0) g.add_edge(f, b);
+      }
+    }
+    const auto clique = find_large_clique(g);
+    EXPECT_GE(clique.size(), static_cast<std::size_t>(n - 2 * t));
+    EXPECT_TRUE(g.is_clique(clique));
+  }
+}
+
+TEST(CliqueTest, DeterministicAcrossCalls) {
+  const Graph g = honest_core_graph(13, {1, 7});
+  EXPECT_EQ(find_large_clique(g), find_large_clique(g));
+}
+
+TEST(CliqueTest, OutputSorted) {
+  const auto clique = find_large_clique(honest_core_graph(10, {2, 5}));
+  EXPECT_TRUE(std::is_sorted(clique.begin(), clique.end()));
+}
+
+TEST(CliqueTest, EmptyGraphYieldsSmallClique) {
+  // No edges at all: maximal matching pairs everything up; the result is
+  // still a (possibly tiny) valid clique — never a crash.
+  Graph g(6);
+  const auto clique = find_large_clique(g);
+  EXPECT_LE(clique.size(), 1u);
+}
+
+TEST(GraphTest, BasicAdjacency) {
+  Graph g(4);
+  g.add_edge(0, 2);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 1));
+  g.add_edge(3, 3);  // self-loop ignored
+  EXPECT_FALSE(g.has_edge(3, 3));
+}
+
+TEST(GraphTest, IsCliqueChecksAllPairs) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  EXPECT_TRUE(g.is_clique({0, 1, 2}));
+  EXPECT_FALSE(g.is_clique({0, 1, 3}));
+  EXPECT_TRUE(g.is_clique({2}));
+  EXPECT_TRUE(g.is_clique({}));
+}
+
+}  // namespace
+}  // namespace dprbg

@@ -1,0 +1,193 @@
+// Tests for the synchronous cluster substrate: lockstep rounds, private
+// channels, deterministic delivery, drop-on-return, metrics.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "common/serial.h"
+#include "net/cluster.h"
+#include "net/msg.h"
+
+namespace dprbg {
+namespace {
+
+std::vector<std::uint8_t> payload(std::uint64_t v) {
+  ByteWriter w;
+  w.u64(v);
+  return std::move(w).take();
+}
+
+std::uint64_t value_of(const Msg& m) {
+  ByteReader r(m.body);
+  return r.u64();
+}
+
+TEST(ClusterTest, AllToAllDelivery) {
+  Cluster cluster(5, 1, /*seed=*/1);
+  const std::uint32_t tag = make_tag(ProtoId::kApp, 0, 0);
+  cluster.run(std::vector<Cluster::Program>(
+      5, [&](PartyIo& io) {
+        io.send_all(tag, payload(100 + io.id()));
+        const Inbox& in = io.sync();
+        const auto msgs = in.with_tag(tag);
+        ASSERT_EQ(msgs.size(), 5u);
+        for (const Msg* m : msgs) {
+          EXPECT_EQ(value_of(*m), 100u + m->from);
+        }
+      }));
+}
+
+TEST(ClusterTest, PrivateChannelsDeliverOnlyToRecipient) {
+  Cluster cluster(4, 1, 2);
+  const std::uint32_t tag = make_tag(ProtoId::kApp, 1, 0);
+  cluster.run(std::vector<Cluster::Program>(4, [&](PartyIo& io) {
+    // Everyone sends a private value to player 2 only.
+    io.send(2, tag, payload(io.id()));
+    const Inbox& in = io.sync();
+    if (io.id() == 2) {
+      EXPECT_EQ(in.with_tag(tag).size(), 4u);
+    } else {
+      EXPECT_TRUE(in.with_tag(tag).empty());
+    }
+  }));
+}
+
+TEST(ClusterTest, MessagesCrossOneRoundBoundary) {
+  Cluster cluster(3, 0, 3);
+  const std::uint32_t tag = make_tag(ProtoId::kApp, 2, 0);
+  cluster.run(std::vector<Cluster::Program>(3, [&](PartyIo& io) {
+    // Round 0: nothing sent. Round 1: send. Message must arrive at the
+    // sync ending round 1, not earlier.
+    const Inbox& in0 = io.sync();
+    EXPECT_TRUE(in0.with_tag(tag).empty());
+    io.send_all(tag, payload(7));
+    const Inbox& in1 = io.sync();
+    EXPECT_EQ(in1.with_tag(tag).size(), 3u);
+  }));
+}
+
+TEST(ClusterTest, EarlyReturnDoesNotDeadlock) {
+  Cluster cluster(4, 1, 4);
+  const std::uint32_t tag = make_tag(ProtoId::kApp, 3, 0);
+  std::vector<Cluster::Program> programs;
+  // Player 0 crashes immediately; the rest run 3 rounds.
+  programs.push_back([](PartyIo&) {});
+  for (int i = 1; i < 4; ++i) {
+    programs.push_back([&](PartyIo& io) {
+      for (int round = 0; round < 3; ++round) {
+        io.send_all(tag, payload(io.id()));
+        const Inbox& in = io.sync();
+        // Crashed player 0 sends nothing.
+        EXPECT_EQ(in.with_tag(tag).size(), 3u);
+        EXPECT_EQ(in.from(0, tag), nullptr);
+      }
+    });
+  }
+  cluster.run(std::move(programs));
+}
+
+TEST(ClusterTest, InboxSortedBySenderThenTag) {
+  Cluster cluster(4, 1, 5);
+  const std::uint32_t tag_a = make_tag(ProtoId::kApp, 4, 0);
+  const std::uint32_t tag_b = make_tag(ProtoId::kApp, 4, 1);
+  cluster.run(std::vector<Cluster::Program>(4, [&](PartyIo& io) {
+    io.send(0, tag_b, payload(1));
+    io.send(0, tag_a, payload(2));
+    const Inbox& in = io.sync();
+    if (io.id() != 0) return;
+    const auto& all = in.all();
+    ASSERT_EQ(all.size(), 8u);
+    for (std::size_t i = 1; i < all.size(); ++i) {
+      const bool ordered =
+          all[i - 1].from < all[i].from ||
+          (all[i - 1].from == all[i].from && all[i - 1].tag <= all[i].tag);
+      EXPECT_TRUE(ordered) << "position " << i;
+    }
+  }));
+}
+
+TEST(ClusterTest, DuplicateSuppressionInWithTag) {
+  Cluster cluster(3, 0, 6);
+  const std::uint32_t tag = make_tag(ProtoId::kApp, 5, 0);
+  std::vector<Cluster::Program> programs(3, [&](PartyIo& io) {
+    const Inbox& in = io.sync();
+    if (io.id() == 0) {
+      // An equivocator double-sends; with_tag keeps the first per sender.
+      EXPECT_EQ(in.with_tag(tag).size(), 1u);
+      EXPECT_EQ(value_of(*in.with_tag(tag)[0]), 111u);
+    }
+  });
+  programs[1] = [&](PartyIo& io) {
+    io.send(0, tag, payload(111));
+    io.send(0, tag, payload(222));
+    io.sync();
+  };
+  cluster.run(std::move(programs));
+}
+
+TEST(ClusterTest, DeterministicRngPerPlayer) {
+  std::vector<std::uint64_t> draws_a(3), draws_b(3);
+  for (auto* draws : {&draws_a, &draws_b}) {
+    Cluster cluster(3, 0, 42);
+    cluster.run(std::vector<Cluster::Program>(3, [&](PartyIo& io) {
+      (*draws)[io.id()] = io.rng().next_u64();
+    }));
+  }
+  EXPECT_EQ(draws_a, draws_b);  // same seed -> same randomness
+  std::set<std::uint64_t> distinct(draws_a.begin(), draws_a.end());
+  EXPECT_EQ(distinct.size(), 3u);  // players' streams differ
+}
+
+TEST(ClusterTest, CommCountersTrackTraffic) {
+  Cluster cluster(4, 1, 7);
+  const std::uint32_t tag = make_tag(ProtoId::kApp, 6, 0);
+  cluster.run(std::vector<Cluster::Program>(4, [&](PartyIo& io) {
+    io.send_all(tag, payload(0));
+    io.sync();
+  }));
+  // 4 players x 3 non-self messages (self-delivery is free).
+  EXPECT_EQ(cluster.comm().messages, 12u);
+  EXPECT_GE(cluster.comm().rounds, 1u);
+  EXPECT_GT(cluster.comm().bytes, 0u);
+}
+
+TEST(ClusterTest, PlayerExceptionPropagates) {
+  Cluster cluster(3, 0, 8);
+  std::vector<Cluster::Program> programs(3, [](PartyIo& io) { io.sync(); });
+  programs[1] = [](PartyIo&) { throw std::runtime_error("boom"); };
+  EXPECT_THROW(cluster.run(std::move(programs)), std::runtime_error);
+}
+
+TEST(ClusterTest, StatePersistsAcrossRuns) {
+  // The D-PRBG driver runs multiple protocol phases as separate run()
+  // calls; player RNG streams must continue, not restart.
+  Cluster cluster(2, 0, 9);
+  std::uint64_t first = 0, second = 0;
+  cluster.run({[&](PartyIo& io) { first = io.rng().next_u64(); },
+               [](PartyIo&) {}});
+  cluster.run({[&](PartyIo& io) { second = io.rng().next_u64(); },
+               [](PartyIo&) {}});
+  EXPECT_NE(first, second);
+}
+
+TEST(ClusterTest, RunHonestFaultyHelper) {
+  Cluster cluster(7, 2, 10);
+  const std::uint32_t tag = make_tag(ProtoId::kApp, 7, 0);
+  std::atomic<int> honest_runs{0};
+  cluster.run(
+      [&](PartyIo& io) {
+        io.send_all(tag, payload(1));
+        const Inbox& in = io.sync();
+        // 5 honest senders (faulty crash), self included.
+        EXPECT_EQ(in.with_tag(tag).size(), 5u);
+        ++honest_runs;
+      },
+      {1, 4}, nullptr);
+  EXPECT_EQ(honest_runs.load(), 5);
+}
+
+}  // namespace
+}  // namespace dprbg

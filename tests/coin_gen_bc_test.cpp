@@ -1,0 +1,148 @@
+// Tests for the broadcast-model coin generator (Section 4's "simpler
+// algorithm which assumes broadcast", n >= 3t+1).
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "coin/coin_expose.h"
+#include "coin/coin_gen_bc.h"
+#include "dprbg/trusted_dealer.h"
+#include "gf/gf2.h"
+#include "net/cluster.h"
+
+namespace dprbg {
+namespace {
+
+using F = GF2_64;
+
+struct BcRun {
+  std::vector<BcCoinGenResult<F>> results;
+  std::vector<std::vector<std::optional<F>>> coins;
+};
+
+BcRun run_bc(int n, int t, std::uint64_t seed, unsigned m,
+             const std::vector<int>& faulty = {},
+             const Cluster::Program& adversary = nullptr) {
+  auto genesis = trusted_dealer_coins<F>(n, t, 1, seed);
+  BcRun run;
+  run.results.resize(n);
+  run.coins.assign(n, {});
+  Cluster cluster(n, t, seed);
+  cluster.run(
+      [&](PartyIo& io) {
+        auto result = coin_gen_broadcast<F>(io, m, genesis[io.id()][0]);
+        run.results[io.id()] = result;
+        if (!result.success) return;
+        auto sealed = result.sealed_coins(static_cast<unsigned>(io.t()));
+        for (unsigned h = 0; h < m; ++h) {
+          run.coins[io.id()].push_back(
+              coin_expose<F>(io, sealed[h], 50 + h));
+        }
+      },
+      faulty, adversary);
+  return run;
+}
+
+TEST(CoinGenBroadcastTest, AllHonestUnanimousCoins) {
+  const int n = 7, t = 2;  // n >= 3t+1 suffices in this model
+  const unsigned m = 5;
+  const auto run = run_bc(n, t, 1, m);
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(run.results[i].success) << i;
+    EXPECT_EQ(run.results[i].summed_dealers,
+              run.results[0].summed_dealers);
+    EXPECT_EQ(run.results[i].summed_dealers.size(),
+              static_cast<std::size_t>(t + 1));
+    for (unsigned h = 0; h < m; ++h) {
+      ASSERT_TRUE(run.coins[i][h].has_value());
+      EXPECT_EQ(*run.coins[i][h], *run.coins[0][h]);
+    }
+  }
+}
+
+TEST(CoinGenBroadcastTest, ToleratesCrashedDealers) {
+  const int n = 7, t = 2;
+  const auto run = run_bc(n, t, 2, 3, {0, 4}, nullptr);
+  for (int i = 0; i < n; ++i) {
+    if (i == 0 || i == 4) continue;
+    ASSERT_TRUE(run.results[i].success) << i;
+    // Crashed dealers are not accepted.
+    for (int d : run.results[i].accepted_dealers) {
+      EXPECT_NE(d, 0);
+      EXPECT_NE(d, 4);
+    }
+    for (unsigned h = 0; h < 3; ++h) {
+      EXPECT_EQ(*run.coins[i][h], *run.coins[1][h]);
+    }
+  }
+}
+
+TEST(CoinGenBroadcastTest, OverDegreeDealerExcluded) {
+  const int n = 7, t = 2;
+  auto genesis = trusted_dealer_coins<F>(n, t, 1, 3);
+  const unsigned m = 2;
+  std::vector<BcCoinGenResult<F>> results(n);
+  Cluster cluster(n, t, 3);
+  cluster.run(
+      [&](PartyIo& io) {
+        results[io.id()] = coin_gen_broadcast<F>(io, m, genesis[io.id()][0]);
+      },
+      {1},
+      [&](PartyIo& io) {
+        // Deal over-degree rows; otherwise follow the message shape.
+        const auto row_tag = make_tag(ProtoId::kBitGen, 0, 0);
+        std::vector<Polynomial<F>> polys;
+        for (unsigned j = 0; j < m + 1; ++j) {
+          polys.push_back(Polynomial<F>::random(io.t() + 2, io.rng()));
+        }
+        for (int i = 0; i < io.n(); ++i) {
+          ByteWriter w;
+          for (const auto& f : polys) write_elem(w, f(eval_point<F>(i)));
+          io.send(i, row_tag, std::move(w).take());
+        }
+        (void)coin_expose<F>(io, genesis[io.id()][0], 0);
+        io.sync();
+      });
+  for (int i = 0; i < n; ++i) {
+    if (i == 1) continue;
+    ASSERT_TRUE(results[i].success);
+    for (int d : results[i].accepted_dealers) EXPECT_NE(d, 1);
+  }
+}
+
+TEST(CoinGenBroadcastTest, CheaperThanFullCoinGen) {
+  // The whole point of the Section 4 machinery is removing the broadcast
+  // assumption; with it, generation is strictly cheaper (no grade-cast,
+  // no BA -> fewer rounds and messages).
+  const int n = 7, t = 1;
+  const unsigned m = 16;
+  auto genesis = trusted_dealer_coins<F>(n, t, 1, 4);
+  Cluster cluster(n, t, 4);
+  cluster.run(std::vector<Cluster::Program>(n, [&](PartyIo& io) {
+    (void)coin_gen_broadcast<F>(io, m, genesis[io.id()][0]);
+  }));
+  EXPECT_EQ(cluster.comm().rounds, 2u);  // vs 2 + 3 + (1 + 2(t+1))/iter
+}
+
+TEST(CoinGenBroadcastTest, CoinsUnpredictableFromTShares) {
+  const int n = 7, t = 2;
+  const auto run = run_bc(n, t, 5, 2);
+  for (unsigned h = 0; h < 2; ++h) {
+    std::vector<PointValue<F>> known = {
+        {eval_point<F>(0), run.results[0].coin_shares[h]},
+        {eval_point<F>(1), run.results[1].coin_shares[h]},
+    };
+    for (std::uint64_t candidate : {7ull, 1234567ull}) {
+      auto pts = known;
+      pts.push_back({F::zero(), F::from_uint(candidate)});
+      EXPECT_LE(lagrange_interpolate<F>(pts).degree(),
+                static_cast<int>(t));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dprbg

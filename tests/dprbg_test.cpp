@@ -1,0 +1,178 @@
+// Tests for the bootstrapped D-PRBG (Fig. 1): expansion, self-refill,
+// unanimity of the produced stream, fault tolerance, seed accounting.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "dprbg/dprbg.h"
+#include "dprbg/trusted_dealer.h"
+#include "gf/gf2.h"
+#include "net/cluster.h"
+
+namespace dprbg {
+namespace {
+
+using F = GF2_64;
+
+using Stream = std::vector<std::optional<F>>;
+
+struct PrbgRun {
+  std::vector<Stream> streams;  // [player][draw]
+  std::vector<std::uint64_t> refills;
+  std::vector<std::uint64_t> seed_spent;
+};
+
+PrbgRun run_prbg(int n, int t, std::uint64_t seed, int draws,
+                 DPrbg<F>::Options opts, int genesis_coins,
+                 const std::vector<int>& faulty = {},
+                 const Cluster::Program& adversary = nullptr) {
+  auto genesis = trusted_dealer_coins<F>(n, t, genesis_coins, seed);
+  PrbgRun run;
+  run.streams.assign(n, {});
+  run.refills.assign(n, 0);
+  run.seed_spent.assign(n, 0);
+  Cluster cluster(n, t, seed);
+  cluster.run(
+      [&](PartyIo& io) {
+        DPrbg<F> prbg(opts, genesis[io.id()]);
+        for (int d = 0; d < draws; ++d) {
+          run.streams[io.id()].push_back(prbg.next_coin(io));
+        }
+        run.refills[io.id()] = prbg.refills();
+        run.seed_spent[io.id()] = prbg.seed_coins_spent_refilling();
+      },
+      faulty, adversary);
+  return run;
+}
+
+TEST(DprbgTest, StreamIsUnanimous) {
+  const int n = 7, t = 1, draws = 30;
+  DPrbg<F>::Options opts;
+  opts.batch_size = 16;
+  opts.reserve = 4;
+  const auto run = run_prbg(n, t, 1, draws, opts, /*genesis=*/8);
+  for (int d = 0; d < draws; ++d) {
+    ASSERT_TRUE(run.streams[0][d].has_value()) << "draw " << d;
+    for (int i = 1; i < n; ++i) {
+      ASSERT_TRUE(run.streams[i][d].has_value());
+      EXPECT_EQ(*run.streams[i][d], *run.streams[0][d])
+          << "player " << i << " draw " << d;
+    }
+  }
+}
+
+TEST(DprbgTest, ExpandsBeyondGenesisSupply) {
+  // 8 genesis coins, 30 draws: impossible without the D-PRBG stretching
+  // the seed — the defining property of the generator.
+  const int n = 7, t = 1, draws = 30;
+  DPrbg<F>::Options opts;
+  opts.batch_size = 16;
+  opts.reserve = 4;
+  const auto run = run_prbg(n, t, 2, draws, opts, 8);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_GE(run.refills[i], 1u) << "player " << i;
+  }
+  for (int d = 0; d < draws; ++d) {
+    EXPECT_TRUE(run.streams[0][d].has_value());
+  }
+}
+
+TEST(DprbgTest, SelfSufficientOverManyRefills) {
+  // Long stream forcing several bootstrap cycles: the seed regenerates
+  // itself every time (Section 1.2: "our method is self-sufficient once
+  // it gets kicked off").
+  const int n = 7, t = 1, draws = 120;
+  DPrbg<F>::Options opts;
+  opts.batch_size = 12;
+  opts.reserve = 4;
+  const auto run = run_prbg(n, t, 3, draws, opts, 8);
+  EXPECT_GE(run.refills[0], 10u);
+  for (int d = 0; d < draws; ++d) {
+    ASSERT_TRUE(run.streams[0][d].has_value()) << "draw " << d;
+  }
+}
+
+TEST(DprbgTest, SeedConsumptionIsConstantPerRefill) {
+  // Each refill costs 1 challenge + iterations leader coins; with honest
+  // players, exactly 2. The *amortized* seed cost per coin is 2/M.
+  const int n = 7, t = 1, draws = 60;
+  DPrbg<F>::Options opts;
+  opts.batch_size = 20;
+  opts.reserve = 4;
+  const auto run = run_prbg(n, t, 4, draws, opts, 8);
+  EXPECT_EQ(run.seed_spent[0], 2 * run.refills[0]);
+}
+
+TEST(DprbgTest, BitsAreBalanced) {
+  const int n = 7, t = 1, draws = 200;
+  DPrbg<F>::Options opts;
+  opts.batch_size = 32;
+  opts.reserve = 4;
+  const auto run = run_prbg(n, t, 5, draws, opts, 8);
+  int ones = 0;
+  for (int d = 0; d < draws; ++d) {
+    ones += coin_to_bit(*run.streams[0][d]);
+  }
+  EXPECT_NEAR(double(ones) / draws, 0.5, 0.1);
+}
+
+TEST(DprbgTest, KaryCoinsAreDistinct) {
+  const int n = 7, t = 1, draws = 50;
+  DPrbg<F>::Options opts;
+  opts.batch_size = 16;
+  opts.reserve = 4;
+  const auto run = run_prbg(n, t, 6, draws, opts, 8);
+  std::set<std::uint64_t> seen;
+  for (int d = 0; d < draws; ++d) {
+    seen.insert(run.streams[0][d]->to_uint());
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(draws));
+}
+
+TEST(DprbgTest, SurvivesCrashFaults) {
+  const int n = 13, t = 2, draws = 25;
+  DPrbg<F>::Options opts;
+  opts.batch_size = 12;
+  opts.reserve = 4;
+  const auto run = run_prbg(n, t, 7, draws, opts, 8, {3, 9}, nullptr);
+  for (int d = 0; d < draws; ++d) {
+    std::optional<F> ref;
+    for (int i = 0; i < n; ++i) {
+      if (i == 3 || i == 9) continue;
+      ASSERT_TRUE(run.streams[i][d].has_value())
+          << "player " << i << " draw " << d;
+      if (!ref) ref = *run.streams[i][d];
+      EXPECT_EQ(*run.streams[i][d], *ref);
+    }
+  }
+}
+
+TEST(DprbgTest, DifferentSeedsDifferentStreams) {
+  DPrbg<F>::Options opts;
+  opts.batch_size = 8;
+  opts.reserve = 3;
+  const auto a = run_prbg(7, 1, 100, 10, opts, 8);
+  const auto b = run_prbg(7, 1, 101, 10, opts, 8);
+  int equal = 0;
+  for (int d = 0; d < 10; ++d) {
+    if (*a.streams[0][d] == *b.streams[0][d]) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(DprbgTest, ReplayIsDeterministic) {
+  DPrbg<F>::Options opts;
+  opts.batch_size = 8;
+  opts.reserve = 3;
+  const auto a = run_prbg(7, 1, 50, 12, opts, 8);
+  const auto b = run_prbg(7, 1, 50, 12, opts, 8);
+  for (int d = 0; d < 12; ++d) {
+    EXPECT_EQ(*a.streams[0][d], *b.streams[0][d]);
+  }
+}
+
+}  // namespace
+}  // namespace dprbg

@@ -1,0 +1,144 @@
+// Tests for the paper's special field GF(q^l) (Section 2 construction).
+
+#include <gtest/gtest.h>
+
+#include "gf/fft_field.h"
+#include "gf/zq.h"
+#include "rng/chacha.h"
+
+namespace dprbg {
+namespace {
+
+FftElem random_elem(const FftField& f, Chacha& rng) {
+  std::uint32_t words[FftElem::kMaxL];
+  for (unsigned i = 0; i < f.l(); ++i) words[i] = rng.next_u32();
+  return f.from_words(words);
+}
+
+TEST(ZqTest, PrimalityCheck) {
+  EXPECT_TRUE(Zq::is_prime(2));
+  EXPECT_TRUE(Zq::is_prime(17));
+  EXPECT_TRUE(Zq::is_prime(257));
+  EXPECT_TRUE(Zq::is_prime(65537));
+  EXPECT_FALSE(Zq::is_prime(1));
+  EXPECT_FALSE(Zq::is_prime(91));   // 7 * 13
+  EXPECT_FALSE(Zq::is_prime(65535));
+}
+
+TEST(ZqTest, TabulatedArithmeticMatchesDirect) {
+  const Zq small(257);  // tabulated
+  ASSERT_TRUE(small.tabulated());
+  for (std::uint32_t a = 0; a < 257; a += 13) {
+    for (std::uint32_t b = 0; b < 257; b += 17) {
+      EXPECT_EQ(small.mul(a, b), (a * b) % 257);
+      EXPECT_EQ(small.add(a, b), (a + b) % 257);
+      EXPECT_EQ(small.sub(a, b), (a + 257 - b) % 257);
+    }
+  }
+}
+
+TEST(ZqTest, InverseAndPow) {
+  const Zq zq(101);
+  for (std::uint32_t a = 1; a < 101; ++a) {
+    EXPECT_EQ(zq.mul(a, zq.inv(a)), 1u);
+  }
+  EXPECT_EQ(zq.pow(2, 100), 1u);  // Fermat
+}
+
+TEST(ZqTest, GeneratorHasFullOrder) {
+  const Zq zq(97);
+  const std::uint32_t g = zq.find_generator();
+  // Order of g must be exactly 96: g^96 = 1 and g^(96/p) != 1 for p | 96.
+  EXPECT_EQ(zq.pow(g, 96), 1u);
+  EXPECT_NE(zq.pow(g, 48), 1u);
+  EXPECT_NE(zq.pow(g, 32), 1u);
+}
+
+TEST(ZqTest, RootOfUnityExactOrder) {
+  const Zq zq(97);  // 96 = 2^5 * 3
+  const std::uint32_t w = zq.root_of_unity(32);
+  EXPECT_EQ(zq.pow(w, 32), 1u);
+  EXPECT_NE(zq.pow(w, 16), 1u);
+}
+
+class FftFieldTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FftFieldTest, ConstructionSatisfiesPaperConstraints) {
+  const unsigned l = GetParam();
+  const FftField f(l);
+  // Paper: q prime, q >= 2l + 1.
+  EXPECT_TRUE(Zq::is_prime(f.q()));
+  EXPECT_GE(f.q(), 2 * l + 1);
+  EXPECT_EQ(f.modulus().size(), l);
+}
+
+TEST_P(FftFieldTest, NttAndNaiveMultiplicationAgree) {
+  const unsigned l = GetParam();
+  const FftField f(l);
+  Chacha rng(42 + l);
+  for (int i = 0; i < 50; ++i) {
+    const FftElem a = random_elem(f, rng);
+    const FftElem b = random_elem(f, rng);
+    EXPECT_EQ(f.mul(a, b), f.mul_naive(a, b));
+  }
+}
+
+TEST_P(FftFieldTest, FieldAxioms) {
+  const unsigned l = GetParam();
+  const FftField f(l);
+  Chacha rng(7 + l);
+  for (int i = 0; i < 30; ++i) {
+    const FftElem a = random_elem(f, rng);
+    const FftElem b = random_elem(f, rng);
+    const FftElem c = random_elem(f, rng);
+    EXPECT_EQ(f.add(a, b), f.add(b, a));
+    EXPECT_EQ(f.mul(a, b), f.mul(b, a));
+    EXPECT_EQ(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+    EXPECT_EQ(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+    EXPECT_EQ(f.add(a, f.neg(a)), f.zero());
+    EXPECT_EQ(f.mul(a, f.one()), a);
+  }
+}
+
+TEST_P(FftFieldTest, InverseRoundTrip) {
+  const unsigned l = GetParam();
+  const FftField f(l);
+  Chacha rng(99 + l);
+  for (int i = 0; i < 20; ++i) {
+    FftElem a = random_elem(f, rng);
+    if (f.is_zero(a)) continue;
+    EXPECT_EQ(f.mul(a, f.inv(a)), f.one());
+  }
+}
+
+TEST_P(FftFieldTest, NoZeroDivisors) {
+  const unsigned l = GetParam();
+  const FftField f(l);
+  Chacha rng(123 + l);
+  for (int i = 0; i < 30; ++i) {
+    FftElem a = random_elem(f, rng);
+    FftElem b = random_elem(f, rng);
+    if (f.is_zero(a) || f.is_zero(b)) continue;
+    EXPECT_FALSE(f.is_zero(f.mul(a, b)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftFieldTest,
+                         ::testing::Values(2u, 3u, 4u, 8u, 16u, 32u, 64u, 128u));
+
+TEST(FftFieldTest, SecurityParameterGrowsWithL) {
+  const FftField small(8);
+  const FftField large(32);
+  EXPECT_GT(large.bits(), small.bits());
+  EXPECT_GE(small.bits(), 8.0);  // q >= 17 => >= ~4 bits per coefficient
+}
+
+TEST(FftFieldTest, DeterministicConstruction) {
+  const FftField a(16, 123);
+  const FftField b(16, 123);
+  EXPECT_EQ(a.q(), b.q());
+  EXPECT_EQ(a.modulus(), b.modulus());
+}
+
+}  // namespace
+}  // namespace dprbg

@@ -1,0 +1,176 @@
+// Tests for Grade-Cast [14]: honest-sender confidence 2, the conf-2 =>
+// common-value property, equivocation downgrades, parallel instances.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/serial.h"
+#include "gradecast/gradecast.h"
+#include "net/cluster.h"
+
+namespace dprbg {
+namespace {
+
+std::vector<std::uint8_t> bytes(std::initializer_list<std::uint8_t> v) {
+  return std::vector<std::uint8_t>(v);
+}
+
+TEST(GradeCastTest, HonestSenderFullConfidence) {
+  const int n = 7, t = 2;
+  std::vector<GradeCastResult> results(n);
+  Cluster cluster(n, t, 1);
+  cluster.run(std::vector<Cluster::Program>(n, [&](PartyIo& io) {
+    results[io.id()] = grade_cast(io, /*sender=*/3, bytes({0xAA, 0xBB}));
+  }));
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(results[i].confidence, 2) << "player " << i;
+    EXPECT_EQ(results[i].value, bytes({0xAA, 0xBB}));
+  }
+}
+
+TEST(GradeCastTest, SilentSenderZeroConfidence) {
+  const int n = 7, t = 2;
+  std::vector<GradeCastResult> results(n);
+  Cluster cluster(n, t, 2);
+  cluster.run(
+      [&](PartyIo& io) {
+        results[io.id()] = grade_cast(io, /*sender=*/0, {});
+      },
+      {0}, nullptr);
+  for (int i = 1; i < n; ++i) {
+    EXPECT_EQ(results[i].confidence, 0) << "player " << i;
+  }
+}
+
+TEST(GradeCastTest, EquivocatingSenderNeverSplitsValues) {
+  // The sender sends different values to two halves. Whatever happens,
+  // no two honest players may output *different* values both with
+  // confidence >= 1.
+  const int n = 7, t = 2;
+  std::vector<GradeCastResult> results(n);
+  Cluster cluster(n, t, 3);
+  cluster.run(
+      [&](PartyIo& io) {
+        results[io.id()] = grade_cast(io, 0, {});
+      },
+      {0},
+      [&](PartyIo& io) {
+        // Equivocate in round 1, then echo like an honest player would.
+        const auto tag0 = make_tag(ProtoId::kGradeCast, 0, 0);
+        for (int to = 0; to < io.n(); ++to) {
+          io.send(to, tag0, to % 2 == 0 ? bytes({1}) : bytes({2}));
+        }
+        io.sync();
+        io.sync();
+        io.sync();
+      });
+  for (int i = 1; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (results[i].confidence >= 1 && results[j].confidence >= 1) {
+        EXPECT_EQ(results[i].value, results[j].value)
+            << "players " << i << "," << j;
+      }
+    }
+  }
+  // With a 4/3 split and t = 2, no value can reach the n - t echo
+  // threshold, so nobody should reach confidence 2.
+  for (int i = 1; i < n; ++i) EXPECT_LT(results[i].confidence, 2);
+}
+
+TEST(GradeCastTest, Confidence2ImpliesAllHonestAtLeast1) {
+  // Faulty players echo garbage; sender honest. Some honest players may
+  // drop to confidence < 2? (They cannot here: honest echoes alone reach
+  // n - t.) Then assert the graded-consistency property.
+  const int n = 7, t = 2;
+  std::vector<GradeCastResult> results(n);
+  Cluster cluster(n, t, 4);
+  cluster.run(
+      [&](PartyIo& io) {
+        results[io.id()] = grade_cast(io, 3, bytes({0x42}));
+      },
+      {1, 5},
+      [&](PartyIo& io) {
+        io.sync();  // receive value
+        // Echo a wrong value for every sender, then support it too
+        // (batched wire format: per sender, presence flag + u32 length +
+        // value).
+        ByteWriter lie;
+        for (int s = 0; s < io.n(); ++s) {
+          lie.u8(1);
+          lie.u32(1);
+          lie.u8(0x13);
+        }
+        io.send_all(make_tag(ProtoId::kGradeCast, 0, 1), lie.data());
+        io.sync();
+        io.send_all(make_tag(ProtoId::kGradeCast, 0, 2), lie.data());
+        io.sync();
+      });
+  bool some_conf2 = false;
+  for (int i = 0; i < n; ++i) {
+    if (i == 1 || i == 5) continue;
+    if (results[i].confidence == 2) some_conf2 = true;
+  }
+  ASSERT_TRUE(some_conf2);
+  for (int i = 0; i < n; ++i) {
+    if (i == 1 || i == 5) continue;
+    EXPECT_GE(results[i].confidence, 1) << "player " << i;
+    EXPECT_EQ(results[i].value, bytes({0x42}));
+  }
+}
+
+TEST(GradeCastTest, AllSendersInParallel) {
+  const int n = 7, t = 2;
+  std::vector<std::vector<GradeCastResult>> results(n);
+  Cluster cluster(n, t, 5);
+  cluster.run(std::vector<Cluster::Program>(n, [&](PartyIo& io) {
+    results[io.id()] = grade_cast_all(
+        io, bytes({static_cast<std::uint8_t>(0x10 + io.id())}));
+  }));
+  for (int i = 0; i < n; ++i) {
+    ASSERT_EQ(results[i].size(), static_cast<std::size_t>(n));
+    for (int s = 0; s < n; ++s) {
+      EXPECT_EQ(results[i][s].confidence, 2);
+      EXPECT_EQ(results[i][s].value,
+                bytes({static_cast<std::uint8_t>(0x10 + s)}));
+    }
+  }
+}
+
+TEST(GradeCastTest, OversizedValueTreatedAsAbsent) {
+  const int n = 4, t = 1;
+  std::vector<GradeCastResult> results(n);
+  Cluster cluster(n, t, 6);
+  cluster.run(
+      [&](PartyIo& io) {
+        results[io.id()] = grade_cast(io, 0, {});
+      },
+      {0},
+      [&](PartyIo& io) {
+        io.send_all(make_tag(ProtoId::kGradeCast, 0, 0),
+                    std::vector<std::uint8_t>((1u << 20) + 1, 0x77));
+        io.sync();
+        io.sync();
+        io.sync();
+      });
+  for (int i = 1; i < n; ++i) {
+    EXPECT_EQ(results[i].confidence, 0);
+  }
+}
+
+TEST(GradeCastTest, SequentialInstancesIndependent) {
+  const int n = 4, t = 1;
+  std::vector<GradeCastResult> first(n), second(n);
+  Cluster cluster(n, t, 7);
+  cluster.run(std::vector<Cluster::Program>(n, [&](PartyIo& io) {
+    first[io.id()] = grade_cast(io, 0, bytes({1}), /*instance=*/0);
+    second[io.id()] = grade_cast(io, 0, bytes({2}), /*instance=*/1);
+  }));
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(first[i].value, bytes({1}));
+    EXPECT_EQ(second[i].value, bytes({2}));
+  }
+}
+
+}  // namespace
+}  // namespace dprbg

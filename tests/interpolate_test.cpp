@@ -1,0 +1,112 @@
+// Tests for Lagrange interpolation and the degree test (Problem 1's
+// "basic solution", Section 3.1).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gf/gf2.h"
+#include "poly/interpolate.h"
+#include "poly/polynomial.h"
+#include "rng/chacha.h"
+
+namespace dprbg {
+namespace {
+
+using F = GF2_32;
+using P = Polynomial<F>;
+
+F fe(std::uint64_t v) { return F::from_uint(v); }
+
+std::vector<PointValue<F>> sample(const P& p, int n) {
+  std::vector<PointValue<F>> pts;
+  for (int i = 1; i <= n; ++i) {
+    pts.push_back({fe(i), p(fe(i))});
+  }
+  return pts;
+}
+
+TEST(InterpolateTest, RecoversOriginalPolynomial) {
+  Chacha rng(1);
+  for (unsigned deg = 0; deg <= 10; ++deg) {
+    const P p = P::random(deg, rng);
+    const auto pts = sample(p, static_cast<int>(deg) + 1);
+    EXPECT_EQ(lagrange_interpolate<F>(pts), p) << "deg=" << deg;
+  }
+}
+
+TEST(InterpolateTest, MorePointsThanDegreeStillExact) {
+  Chacha rng(2);
+  const P p = P::random(4, rng);
+  const auto pts = sample(p, 12);
+  // Using only the first 5 points must reconstruct p exactly.
+  EXPECT_EQ(lagrange_interpolate<F>(std::span(pts).first(5)), p);
+}
+
+TEST(InterpolateTest, SinglePointConstant) {
+  const std::vector<PointValue<F>> pts = {{fe(3), fe(42)}};
+  const P p = lagrange_interpolate<F>(pts);
+  EXPECT_EQ(p.degree(), 0);
+  EXPECT_EQ(p(fe(99)), fe(42));
+}
+
+TEST(InterpolateTest, InterpolateAtMatchesFull) {
+  Chacha rng(3);
+  const P p = P::random(6, rng);
+  const auto pts = sample(p, 7);
+  EXPECT_EQ(interpolate_at<F>(pts, F::zero()), p(F::zero()));
+  EXPECT_EQ(interpolate_at<F>(pts, fe(1000)), p(fe(1000)));
+}
+
+TEST(InterpolateTest, DegreeTestAcceptsLowDegree) {
+  Chacha rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    const P p = P::random(3, rng);
+    const auto pts = sample(p, 10);
+    EXPECT_TRUE(is_degree_at_most<F>(pts, 3));
+    EXPECT_TRUE(is_degree_at_most<F>(pts, 5));
+  }
+}
+
+TEST(InterpolateTest, DegreeTestRejectsHighDegree) {
+  Chacha rng(5);
+  int rejected = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    P p = P::random(7, rng);
+    while (p.degree() < 7) p = P::random(7, rng);  // force degree exactly 7
+    const auto pts = sample(p, 10);
+    if (!is_degree_at_most<F>(pts, 3)) ++rejected;
+  }
+  // Over GF(2^32) a random degree-7 polynomial never looks degree-3 on 10
+  // points except with probability ~2^-32 per trial.
+  EXPECT_EQ(rejected, 20);
+}
+
+TEST(InterpolateTest, DegreeTestVacuousWithFewPoints) {
+  Chacha rng(6);
+  const P p = P::random(9, rng);
+  const auto pts = sample(p, 4);
+  EXPECT_TRUE(is_degree_at_most<F>(pts, 3));  // 4 points always fit deg 3
+}
+
+TEST(InterpolateTest, ShuffledPointsGiveSamePolynomial) {
+  Chacha rng(7);
+  const P p = P::random(5, rng);
+  auto pts = sample(p, 6);
+  std::swap(pts[0], pts[5]);
+  std::swap(pts[2], pts[3]);
+  EXPECT_EQ(lagrange_interpolate<F>(pts), p);
+}
+
+TEST(InterpolateTest, CountsOneInterpolation) {
+  Chacha rng(8);
+  const P p = P::random(3, rng);
+  const auto pts = sample(p, 4);
+  const FieldCounters before = field_counters();
+  (void)lagrange_interpolate<F>(pts);
+  const FieldCounters delta = field_counters() - before;
+  EXPECT_EQ(delta.interpolations, 1u);
+}
+
+}  // namespace
+}  // namespace dprbg

@@ -1,0 +1,72 @@
+// Tests for the deployment latency model (net/latency.h) and a cluster
+// stress case at the maximum supported player count.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/cluster.h"
+#include "net/latency.h"
+#include "net/msg.h"
+
+namespace dprbg {
+namespace {
+
+TEST(LatencyModelTest, RoundsDominateOnWan) {
+  CommCounters comm{/*messages=*/100, /*bytes=*/10000, /*rounds=*/10};
+  const double lan = estimate_wall_ms(comm, 7, lan_model());
+  const double wan = estimate_wall_ms(comm, 7, wan_model());
+  const double global = estimate_wall_ms(comm, 7, global_model());
+  EXPECT_LT(lan, wan);
+  EXPECT_LT(wan, global);
+  // 10 rounds at 75 ms one-way dominate the ~1.4 KB/player transfer.
+  EXPECT_NEAR(global, 750.0, 10.0);
+}
+
+TEST(LatencyModelTest, BandwidthMattersForBulk) {
+  // A byte-heavy single round: transfer term dominates on the slow link.
+  CommCounters comm{/*messages=*/10, /*bytes=*/100000000, /*rounds=*/1};
+  const double global = estimate_wall_ms(comm, 10, global_model());
+  // 10 MB per player over 100 Mbps ~ 800 ms >> 75 ms traversal.
+  EXPECT_GT(global, 800.0);
+}
+
+TEST(LatencyModelTest, ZeroTrafficCostsOnlyRounds) {
+  CommCounters comm{0, 0, 5};
+  EXPECT_DOUBLE_EQ(estimate_wall_ms(comm, 4, wan_model()), 5 * 25.0);
+}
+
+TEST(ClusterStressTest, SixtyFourPlayersOneRound) {
+  // The protocol layer's hard ceiling is 64 players (field points,
+  // bitmask cliques); the cluster itself must handle that width.
+  const int n = 64;
+  Cluster cluster(n, 10, 1);
+  const std::uint32_t tag = make_tag(ProtoId::kApp, 0, 0);
+  std::vector<int> received(n, 0);
+  cluster.run(std::vector<Cluster::Program>(n, [&](PartyIo& io) {
+    io.send_all(tag, {static_cast<std::uint8_t>(io.id())});
+    const Inbox& in = io.sync();
+    received[io.id()] = static_cast<int>(in.with_tag(tag).size());
+  }));
+  for (int i = 0; i < n; ++i) EXPECT_EQ(received[i], n) << i;
+  EXPECT_EQ(cluster.comm().messages,
+            static_cast<std::uint64_t>(n) * (n - 1));
+}
+
+TEST(ClusterStressTest, ManySequentialRounds) {
+  // A thousand lockstep rounds: barrier plumbing stays consistent.
+  const int n = 5;
+  Cluster cluster(n, 1, 2);
+  cluster.run(std::vector<Cluster::Program>(n, [&](PartyIo& io) {
+    const std::uint32_t tag = make_tag(ProtoId::kApp, 1, 0);
+    for (int round = 0; round < 1000; ++round) {
+      io.send((io.id() + 1) % io.n(), tag, {1});
+      const Inbox& in = io.sync();
+      ASSERT_EQ(in.with_tag(tag).size(), 1u);
+    }
+  }));
+  EXPECT_EQ(cluster.comm().rounds, 1000u);
+}
+
+}  // namespace
+}  // namespace dprbg

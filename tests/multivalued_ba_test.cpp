@@ -1,0 +1,163 @@
+// Tests for multivalued BA (Turpin-Coan) and broadcast-from-BA.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "ba/multivalued.h"
+#include "net/cluster.h"
+
+namespace dprbg {
+namespace {
+
+std::vector<std::uint8_t> bytes(std::initializer_list<std::uint8_t> v) {
+  return std::vector<std::uint8_t>(v);
+}
+
+TEST(MultivaluedBaTest, ValidityUnanimousInput) {
+  const int n = 9, t = 2;
+  const auto value = bytes({0xDE, 0xAD, 0xBE, 0xEF});
+  std::vector<MultivaluedResult> results(n);
+  Cluster cluster(n, t, 1);
+  cluster.run(std::vector<Cluster::Program>(n, [&](PartyIo& io) {
+    results[io.id()] = multivalued_ba(io, value);
+  }));
+  for (int i = 0; i < n; ++i) {
+    EXPECT_TRUE(results[i].from_inputs);
+    EXPECT_EQ(results[i].value, value);
+  }
+}
+
+TEST(MultivaluedBaTest, SplitInputsAgreeOnSomething) {
+  const int n = 9, t = 2;
+  std::vector<MultivaluedResult> results(n);
+  Cluster cluster(n, t, 2);
+  cluster.run(std::vector<Cluster::Program>(n, [&](PartyIo& io) {
+    results[io.id()] = multivalued_ba(
+        io, bytes({static_cast<std::uint8_t>(io.id() % 3)}),
+        /*fallback=*/bytes({0xFF}));
+  }));
+  for (int i = 1; i < n; ++i) {
+    EXPECT_EQ(results[i].value, results[0].value) << i;
+    EXPECT_EQ(results[i].from_inputs, results[0].from_inputs);
+  }
+  // With a 3-way split no value is proper: fallback everywhere.
+  EXPECT_EQ(results[0].value, bytes({0xFF}));
+}
+
+TEST(MultivaluedBaTest, SupermajoritySurvivesByzantineLiars) {
+  const int n = 9, t = 2;
+  const auto value = bytes({0x42});
+  std::vector<MultivaluedResult> results(n);
+  Cluster cluster(n, t, 3);
+  cluster.run(
+      [&](PartyIo& io) {
+        results[io.id()] = multivalued_ba(io, value, bytes({0x00}));
+      },
+      {3, 7},
+      [&](PartyIo& io) {
+        // Lie in both exchange rounds, then vote 0 in every BA round.
+        io.send_all(make_tag(ProtoId::kRandomizedBa, 0, 40), {0x13});
+        io.sync();
+        io.send_all(make_tag(ProtoId::kRandomizedBa, 0, 41), {1, 0x13});
+        io.sync();
+        for (int phase = 0; phase <= io.t(); ++phase) {
+          io.send_all(make_tag(ProtoId::kPhaseKing, 0, 2 * phase), {0});
+          io.sync();
+          io.send_all(make_tag(ProtoId::kPhaseKing, 0, 2 * phase + 1), {0});
+          io.sync();
+        }
+      });
+  for (int i = 0; i < n; ++i) {
+    if (i == 3 || i == 7) continue;
+    EXPECT_TRUE(results[i].from_inputs) << i;
+    EXPECT_EQ(results[i].value, value) << i;
+  }
+}
+
+TEST(MultivaluedBaTest, EmptyValueIsLegal) {
+  const int n = 5, t = 1;
+  std::vector<MultivaluedResult> results(n);
+  Cluster cluster(n, t, 4);
+  cluster.run(std::vector<Cluster::Program>(n, [&](PartyIo& io) {
+    results[io.id()] = multivalued_ba(io, {}, bytes({0xEE}));
+  }));
+  for (int i = 0; i < n; ++i) {
+    EXPECT_TRUE(results[i].from_inputs);
+    EXPECT_TRUE(results[i].value.empty());
+  }
+}
+
+TEST(BroadcastViaBaTest, HonestSenderReachesEveryone) {
+  const int n = 9, t = 2;
+  const auto value = bytes({1, 2, 3, 4, 5});
+  std::vector<MultivaluedResult> results(n);
+  Cluster cluster(n, t, 5);
+  cluster.run(std::vector<Cluster::Program>(n, [&](PartyIo& io) {
+    results[io.id()] = broadcast_via_ba(io, /*sender=*/4, value);
+  }));
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(results[i].value, value) << i;
+  }
+}
+
+TEST(BroadcastViaBaTest, EquivocatingSenderCannotSplit) {
+  const int n = 9, t = 2;
+  std::vector<MultivaluedResult> results(n);
+  Cluster cluster(n, t, 6);
+  cluster.run(
+      [&](PartyIo& io) {
+        results[io.id()] = broadcast_via_ba(io, 0, {});
+      },
+      {0},
+      [&](PartyIo& io) {
+        // Send a different value to each half, then participate in the
+        // agreement rounds with more lies.
+        const auto tag = make_tag(ProtoId::kRandomizedBa, 0, 42);
+        for (int to = 0; to < io.n(); ++to) {
+          io.send(to, tag, bytes({static_cast<std::uint8_t>(to % 2)}));
+        }
+        io.sync();
+        io.sync();  // round 1 of multivalued (silent)
+        io.sync();  // round 2 of multivalued (silent)
+        for (int phase = 0; phase <= io.t(); ++phase) {
+          io.sync();
+          io.sync();
+        }
+      });
+  for (int i = 1; i < n; ++i) {
+    EXPECT_EQ(results[i].value, results[1].value) << i;
+  }
+}
+
+TEST(BroadcastViaBaTest, SilentSenderYieldsFallbackEverywhere) {
+  const int n = 9, t = 2;
+  std::vector<MultivaluedResult> results(n);
+  Cluster cluster(n, t, 7);
+  cluster.run(
+      [&](PartyIo& io) {
+        results[io.id()] = broadcast_via_ba(io, 0, {});
+      },
+      {0}, nullptr);
+  for (int i = 1; i < n; ++i) {
+    EXPECT_EQ(results[i].value, results[1].value);
+  }
+}
+
+TEST(MultivaluedBaTest, SequentialInstancesIndependent) {
+  const int n = 5, t = 1;
+  std::vector<MultivaluedResult> first(n), second(n);
+  Cluster cluster(n, t, 8);
+  cluster.run(std::vector<Cluster::Program>(n, [&](PartyIo& io) {
+    first[io.id()] = multivalued_ba(io, bytes({1}), {}, 0);
+    second[io.id()] = multivalued_ba(io, bytes({2}), {}, 1);
+  }));
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(first[i].value, bytes({1}));
+    EXPECT_EQ(second[i].value, bytes({2}));
+  }
+}
+
+}  // namespace
+}  // namespace dprbg

@@ -1,0 +1,154 @@
+// Tests for the deterministic King-algorithm Byzantine agreement:
+// validity, agreement under crash and Byzantine faults, vote-flipping and
+// king-corruption adversaries.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "ba/phase_king.h"
+#include "net/cluster.h"
+
+namespace dprbg {
+namespace {
+
+struct BaRun {
+  std::vector<int> decisions;  // -1 for faulty/no decision
+};
+
+BaRun run_ba(int n, int t, std::uint64_t seed, const std::vector<int>& inputs,
+             const std::vector<int>& faulty = {},
+             const Cluster::Program& adversary = nullptr) {
+  BaRun run;
+  run.decisions.assign(n, -1);
+  Cluster cluster(n, t, seed);
+  cluster.run(
+      [&](PartyIo& io) {
+        run.decisions[io.id()] = phase_king_ba(io, inputs[io.id()]);
+      },
+      faulty, adversary);
+  return run;
+}
+
+void expect_agreement(const BaRun& run, const std::set<int>& faulty) {
+  int decided = -1;
+  for (std::size_t i = 0; i < run.decisions.size(); ++i) {
+    if (faulty.count(static_cast<int>(i))) continue;
+    ASSERT_NE(run.decisions[i], -1) << "player " << i << " undecided";
+    if (decided == -1) decided = run.decisions[i];
+    EXPECT_EQ(run.decisions[i], decided) << "player " << i;
+  }
+}
+
+TEST(PhaseKingTest, ValidityAllZero) {
+  const auto run = run_ba(9, 2, 1, std::vector<int>(9, 0));
+  expect_agreement(run, {});
+  EXPECT_EQ(run.decisions[0], 0);
+}
+
+TEST(PhaseKingTest, ValidityAllOne) {
+  const auto run = run_ba(9, 2, 2, std::vector<int>(9, 1));
+  expect_agreement(run, {});
+  EXPECT_EQ(run.decisions[0], 1);
+}
+
+TEST(PhaseKingTest, MixedInputsStillAgree) {
+  std::vector<int> inputs = {0, 1, 0, 1, 0, 1, 0, 1, 0};
+  const auto run = run_ba(9, 2, 3, inputs);
+  expect_agreement(run, {});
+}
+
+TEST(PhaseKingTest, ValidityDespiteCrashes) {
+  std::vector<int> inputs(9, 1);
+  const auto run = run_ba(9, 2, 4, inputs, {0, 8}, nullptr);
+  expect_agreement(run, {0, 8});
+  for (int i = 1; i < 8; ++i) EXPECT_EQ(run.decisions[i], 1);
+}
+
+TEST(PhaseKingTest, ByzantineVoteFlippersCannotBreakAgreement) {
+  // Faulty players send opposite votes to different players each round,
+  // and garbage as kings.
+  const int n = 9, t = 2;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    std::vector<int> inputs(n);
+    for (int i = 0; i < n; ++i) inputs[i] = (i + seed) % 2;
+    BaRun run;
+    run.decisions.assign(n, -1);
+    Cluster cluster(n, t, 10 + seed);
+    cluster.run(
+        [&](PartyIo& io) {
+          run.decisions[io.id()] = phase_king_ba(io, inputs[io.id()]);
+        },
+        {2, 6},
+        [&](PartyIo& io) {
+          for (int phase = 0; phase <= io.t(); ++phase) {
+            const auto vote_tag =
+                make_tag(ProtoId::kPhaseKing, 0, 2 * phase);
+            const auto king_tag =
+                make_tag(ProtoId::kPhaseKing, 0, 2 * phase + 1);
+            for (int to = 0; to < io.n(); ++to) {
+              io.send(to, vote_tag,
+                      {static_cast<std::uint8_t>((to + phase) % 2)});
+            }
+            io.sync();
+            // Equivocate as king too (only phase==id matters).
+            for (int to = 0; to < io.n(); ++to) {
+              io.send(to, king_tag, {static_cast<std::uint8_t>(to % 2)});
+            }
+            io.sync();
+          }
+        });
+    expect_agreement(run, {2, 6});
+  }
+}
+
+TEST(PhaseKingTest, UnanimousHonestInputWinsDespiteByzantine) {
+  // Validity in the presence of active liars: all honest input 1.
+  const int n = 9, t = 2;
+  BaRun run;
+  run.decisions.assign(n, -1);
+  Cluster cluster(n, t, 20);
+  cluster.run(
+      [&](PartyIo& io) {
+        run.decisions[io.id()] = phase_king_ba(io, 1);
+      },
+      {0, 1},
+      [&](PartyIo& io) {
+        for (int phase = 0; phase <= io.t(); ++phase) {
+          io.send_all(make_tag(ProtoId::kPhaseKing, 0, 2 * phase), {0});
+          io.sync();
+          io.send_all(make_tag(ProtoId::kPhaseKing, 0, 2 * phase + 1), {0});
+          io.sync();
+        }
+      });
+  for (int i = 2; i < n; ++i) EXPECT_EQ(run.decisions[i], 1) << i;
+}
+
+TEST(PhaseKingTest, ManyConfigurations) {
+  // Parameter sweep: n in {5, 9, 13}, t maximal with n > 4t.
+  for (int t : {1, 2, 3}) {
+    const int n = 4 * t + 1;
+    std::vector<int> inputs(n);
+    for (int i = 0; i < n; ++i) inputs[i] = i % 2;
+    const auto run = run_ba(n, t, 30 + t, inputs);
+    expect_agreement(run, {});
+  }
+}
+
+TEST(PhaseKingTest, SequentialInstancesIndependent) {
+  const int n = 5, t = 1;
+  std::vector<int> first(n, -1), second(n, -1);
+  Cluster cluster(n, t, 40);
+  cluster.run(std::vector<Cluster::Program>(n, [&](PartyIo& io) {
+    first[io.id()] = phase_king_ba(io, 1, /*instance=*/0);
+    second[io.id()] = phase_king_ba(io, 0, /*instance=*/1);
+  }));
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(first[i], 1);
+    EXPECT_EQ(second[i], 0);
+  }
+}
+
+}  // namespace
+}  // namespace dprbg

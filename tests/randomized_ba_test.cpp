@@ -1,0 +1,177 @@
+// Tests for randomized BA driven by D-PRBG coins — the paper's headline
+// application (shared coins -> fast Byzantine agreement).
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "ba/randomized_ba.h"
+#include "dprbg/dprbg.h"
+#include "dprbg/trusted_dealer.h"
+#include "gf/gf2.h"
+#include "net/cluster.h"
+
+namespace dprbg {
+namespace {
+
+using F = GF2_64;
+
+struct RbaRun {
+  std::vector<std::optional<int>> decisions;
+  std::vector<unsigned> phases;
+};
+
+RbaRun run_rba(int n, int t, std::uint64_t seed,
+               const std::vector<int>& inputs,
+               const std::vector<int>& faulty = {},
+               const Cluster::Program& adversary = nullptr) {
+  auto genesis = trusted_dealer_coins<F>(n, t, 8, seed);
+  RbaRun run;
+  run.decisions.assign(n, std::nullopt);
+  run.phases.assign(n, 0);
+  Cluster cluster(n, t, seed);
+  cluster.run(
+      [&](PartyIo& io) {
+        DPrbg<F>::Options opts;
+        opts.batch_size = 24;
+        opts.reserve = 4;
+        DPrbg<F> prbg(opts, genesis[io.id()]);
+        const auto result = randomized_ba(
+            io, inputs[io.id()],
+            [&](PartyIo& pio) { return prbg.next_bit(pio); });
+        run.decisions[io.id()] = result.decision;
+        run.phases[io.id()] = result.phases_run;
+      },
+      faulty, adversary);
+  return run;
+}
+
+void expect_agreement(const RbaRun& run, const std::set<int>& faulty,
+                      std::optional<int> expected = std::nullopt) {
+  std::optional<int> ref = expected;
+  for (std::size_t i = 0; i < run.decisions.size(); ++i) {
+    if (faulty.count(static_cast<int>(i))) continue;
+    ASSERT_TRUE(run.decisions[i].has_value()) << "player " << i;
+    if (!ref) ref = run.decisions[i];
+    EXPECT_EQ(*run.decisions[i], *ref) << "player " << i;
+  }
+}
+
+TEST(RandomizedBaTest, ValidityUnanimousInput) {
+  for (int v : {0, 1}) {
+    const auto run = run_rba(7, 1, 10 + v, std::vector<int>(7, v));
+    expect_agreement(run, {}, v);
+    // Unanimous input decides in the very first phase.
+    for (int i = 0; i < 7; ++i) EXPECT_EQ(run.phases[i], 1u);
+  }
+}
+
+TEST(RandomizedBaTest, MixedInputsConverge) {
+  std::vector<int> inputs = {0, 1, 0, 1, 0, 1, 0};
+  const auto run = run_rba(7, 1, 12, inputs);
+  expect_agreement(run, {});
+}
+
+TEST(RandomizedBaTest, ConvergesFastInExpectation) {
+  // Expected O(1) phases: over several seeds, the mean must be small.
+  double total_phases = 0;
+  const int kTrials = 8;
+  for (int s = 0; s < kTrials; ++s) {
+    std::vector<int> inputs(7);
+    for (int i = 0; i < 7; ++i) inputs[i] = (i + s) % 2;
+    const auto run = run_rba(7, 1, 20 + s, inputs);
+    expect_agreement(run, {});
+    total_phases += run.phases[0];
+  }
+  EXPECT_LE(total_phases / kTrials, 6.0);
+}
+
+TEST(RandomizedBaTest, ToleratesCrashFaults) {
+  std::vector<int> inputs(11, 1);
+  const auto run = run_rba(11, 2, 30, inputs, {0, 5}, nullptr);
+  expect_agreement(run, {0, 5}, 1);
+}
+
+TEST(RandomizedBaTest, ToleratesByzantineVoteFlipping) {
+  const int n = 11, t = 2;
+  auto genesis = trusted_dealer_coins<F>(n, t, 8, 40);
+  RbaRun run;
+  run.decisions.assign(n, std::nullopt);
+  run.phases.assign(n, 0);
+  std::vector<int> inputs(n, 1);
+  Cluster cluster(n, t, 40);
+  cluster.run(
+      [&](PartyIo& io) {
+        DPrbg<F>::Options opts;
+        opts.batch_size = 24;
+        opts.reserve = 4;
+        DPrbg<F> prbg(opts, genesis[io.id()]);
+        const auto result = randomized_ba(
+            io, inputs[io.id()],
+            [&](PartyIo& pio) { return prbg.next_bit(pio); });
+        run.decisions[io.id()] = result.decision;
+      },
+      {3, 8},
+      [&](PartyIo& io) {
+        // Flip votes per receiver every phase; stay silent on coins.
+        for (unsigned phase = 0; phase < 20; ++phase) {
+          const auto tag =
+              make_tag(ProtoId::kRandomizedBa, 0, phase & 0xFF);
+          for (int to = 0; to < io.n(); ++to) {
+            io.send(to, tag, {static_cast<std::uint8_t>(to % 2)});
+          }
+          io.sync();  // vote round
+          io.sync();  // coin round
+        }
+      });
+  expect_agreement(run, {3, 8}, 1);
+}
+
+TEST(RandomizedBaTest, CoinConsumptionAccounted) {
+  auto genesis = trusted_dealer_coins<F>(7, 1, 8, 50);
+  std::vector<unsigned> consumed(7, 0);
+  Cluster cluster(7, 1, 50);
+  cluster.run(std::vector<Cluster::Program>(7, [&](PartyIo& io) {
+    DPrbg<F>::Options opts;
+    opts.batch_size = 24;
+    opts.reserve = 4;
+    DPrbg<F> prbg(opts, genesis[io.id()]);
+    const auto result = randomized_ba(
+        io, io.id() % 2, [&](PartyIo& pio) { return prbg.next_bit(pio); },
+        /*max_phases=*/10);
+    consumed[io.id()] = result.coins_consumed;
+  }));
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_EQ(consumed[i], 10u);  // one coin per phase, fixed budget
+  }
+}
+
+TEST(RandomizedBaTest, DecisionStableAcrossExtraPhases) {
+  // Longer budget never changes the decision (agreement persists).
+  std::vector<int> inputs = {1, 1, 1, 1, 0, 0, 0};
+  auto genesis = trusted_dealer_coins<F>(7, 1, 8, 60);
+  std::vector<std::optional<int>> short_run(7), long_run(7);
+  for (auto* out : {&short_run, &long_run}) {
+    Cluster cluster(7, 1, 60);
+    const unsigned budget = (out == &short_run) ? 8u : 16u;
+    cluster.run(std::vector<Cluster::Program>(7, [&](PartyIo& io) {
+      DPrbg<F>::Options opts;
+      opts.batch_size = 24;
+      opts.reserve = 4;
+      DPrbg<F> prbg(opts, genesis[io.id()]);
+      (*out)[io.id()] =
+          randomized_ba(io, inputs[io.id()],
+                        [&](PartyIo& pio) { return prbg.next_bit(pio); },
+                        budget)
+              .decision;
+    }));
+  }
+  ASSERT_TRUE(short_run[0].has_value());
+  ASSERT_TRUE(long_run[0].has_value());
+  EXPECT_EQ(*short_run[0], *long_run[0]);
+}
+
+}  // namespace
+}  // namespace dprbg

@@ -1,0 +1,184 @@
+// Tests for shared-randomness sampling (leader election, committees,
+// permutations) on top of the D-PRBG.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "dprbg/sampling.h"
+#include "dprbg/trusted_dealer.h"
+#include "gf/gf2.h"
+#include "net/cluster.h"
+
+namespace dprbg {
+namespace {
+
+using F = GF2_64;
+
+DPrbg<F>::Options small_opts() {
+  DPrbg<F>::Options opts;
+  opts.batch_size = 32;
+  opts.reserve = 4;
+  return opts;
+}
+
+TEST(SamplingTest, SharedUniformInRangeAndUnanimous) {
+  const int n = 7, t = 1;
+  auto genesis = trusted_dealer_coins<F>(n, t, 8, 1);
+  std::vector<std::vector<std::uint64_t>> draws(n);
+  Cluster cluster(n, t, 1);
+  cluster.run(std::vector<Cluster::Program>(n, [&](PartyIo& io) {
+    DPrbg<F> prbg(small_opts(), genesis[io.id()]);
+    for (int d = 0; d < 20; ++d) {
+      const auto v = shared_uniform<F>(io, prbg, 10);
+      ASSERT_TRUE(v.has_value());
+      ASSERT_LT(*v, 10u);
+      draws[io.id()].push_back(*v);
+    }
+  }));
+  for (int i = 1; i < n; ++i) EXPECT_EQ(draws[i], draws[0]);
+}
+
+TEST(SamplingTest, SharedUniformRoughlyUniform) {
+  const int n = 7, t = 1;
+  auto genesis = trusted_dealer_coins<F>(n, t, 8, 2);
+  std::array<int, 5> counts{};
+  const int kDraws = 200;
+  Cluster cluster(n, t, 2);
+  cluster.run(std::vector<Cluster::Program>(n, [&](PartyIo& io) {
+    DPrbg<F> prbg(small_opts(), genesis[io.id()]);
+    for (int d = 0; d < kDraws; ++d) {
+      const auto v = shared_uniform<F>(io, prbg, 5);
+      if (io.id() == 0) ++counts[*v];
+    }
+  }));
+  for (int b = 0; b < 5; ++b) {
+    EXPECT_NEAR(double(counts[b]) / kDraws, 0.2, 0.12) << "bucket " << b;
+  }
+}
+
+TEST(SamplingTest, LeaderElectionCoversAllPlayers) {
+  const int n = 7, t = 1;
+  auto genesis = trusted_dealer_coins<F>(n, t, 8, 3);
+  std::set<int> leaders;
+  Cluster cluster(n, t, 3);
+  cluster.run(std::vector<Cluster::Program>(n, [&](PartyIo& io) {
+    DPrbg<F> prbg(small_opts(), genesis[io.id()]);
+    for (int round = 0; round < 60; ++round) {
+      const auto l = elect_leader<F>(io, prbg);
+      ASSERT_TRUE(l.has_value());
+      ASSERT_GE(*l, 0);
+      ASSERT_LT(*l, n);
+      if (io.id() == 0) leaders.insert(*l);
+    }
+  }));
+  EXPECT_EQ(leaders.size(), static_cast<std::size_t>(n));  // all elected
+}
+
+TEST(SamplingTest, CommitteeSizeAndDistinctness) {
+  const int n = 13, t = 2;
+  auto genesis = trusted_dealer_coins<F>(n, t, 8, 4);
+  std::vector<std::vector<int>> committees(n);
+  Cluster cluster(n, t, 4);
+  cluster.run(std::vector<Cluster::Program>(n, [&](PartyIo& io) {
+    DPrbg<F> prbg(small_opts(), genesis[io.id()]);
+    const auto c = elect_committee<F>(io, prbg, 5);
+    ASSERT_TRUE(c.has_value());
+    committees[io.id()] = *c;
+  }));
+  for (int i = 0; i < n; ++i) {
+    ASSERT_EQ(committees[i].size(), 5u);
+    const std::set<int> distinct(committees[i].begin(),
+                                 committees[i].end());
+    EXPECT_EQ(distinct.size(), 5u);
+    EXPECT_EQ(committees[i], committees[0]);
+    for (int member : committees[i]) {
+      EXPECT_GE(member, 0);
+      EXPECT_LT(member, n);
+    }
+  }
+}
+
+TEST(SamplingTest, CommitteeMembershipIsFair) {
+  // Over many committees, every player should be selected with frequency
+  // ~ size/n.
+  const int n = 7, t = 1;
+  const int kRounds = 80;
+  const int kSize = 3;
+  auto genesis = trusted_dealer_coins<F>(n, t, 8, 5);
+  std::array<int, 7> member_counts{};
+  Cluster cluster(n, t, 5);
+  cluster.run(std::vector<Cluster::Program>(n, [&](PartyIo& io) {
+    DPrbg<F> prbg(small_opts(), genesis[io.id()]);
+    for (int round = 0; round < kRounds; ++round) {
+      const auto c = elect_committee<F>(io, prbg, kSize);
+      if (io.id() == 0) {
+        for (int member : *c) ++member_counts[member];
+      }
+    }
+  }));
+  const double expected = double(kSize) / n;
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(double(member_counts[i]) / kRounds, expected, 0.18)
+        << "player " << i;
+  }
+}
+
+TEST(SamplingTest, PermutationIsValidAndUnanimous) {
+  const int n = 7, t = 1;
+  auto genesis = trusted_dealer_coins<F>(n, t, 8, 6);
+  std::vector<std::vector<int>> perms(n);
+  Cluster cluster(n, t, 6);
+  cluster.run(std::vector<Cluster::Program>(n, [&](PartyIo& io) {
+    DPrbg<F> prbg(small_opts(), genesis[io.id()]);
+    const auto p = shared_permutation<F>(io, prbg, 10);
+    ASSERT_TRUE(p.has_value());
+    perms[io.id()] = *p;
+  }));
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(perms[i], perms[0]);
+    std::set<int> distinct(perms[i].begin(), perms[i].end());
+    EXPECT_EQ(distinct.size(), 10u);
+  }
+}
+
+TEST(SamplingTest, PermutationsVaryAcrossDraws) {
+  const int n = 7, t = 1;
+  auto genesis = trusted_dealer_coins<F>(n, t, 8, 7);
+  std::vector<int> first, second;
+  Cluster cluster(n, t, 7);
+  cluster.run(std::vector<Cluster::Program>(n, [&](PartyIo& io) {
+    DPrbg<F> prbg(small_opts(), genesis[io.id()]);
+    const auto a = shared_permutation<F>(io, prbg, 12);
+    const auto b = shared_permutation<F>(io, prbg, 12);
+    if (io.id() == 0) {
+      first = *a;
+      second = *b;
+    }
+  }));
+  EXPECT_NE(first, second);
+}
+
+TEST(SamplingTest, SurvivesCrashFaults) {
+  const int n = 13, t = 2;
+  auto genesis = trusted_dealer_coins<F>(n, t, 8, 8);
+  std::vector<std::optional<int>> leaders(n);
+  Cluster cluster(n, t, 8);
+  cluster.run(
+      [&](PartyIo& io) {
+        DPrbg<F> prbg(small_opts(), genesis[io.id()]);
+        leaders[io.id()] = elect_leader<F>(io, prbg);
+      },
+      {0, 9}, nullptr);
+  for (int i = 0; i < n; ++i) {
+    if (i == 0 || i == 9) continue;
+    ASSERT_TRUE(leaders[i].has_value());
+    EXPECT_EQ(*leaders[i], *leaders[1]);
+  }
+}
+
+}  // namespace
+}  // namespace dprbg

@@ -1,0 +1,71 @@
+// Statistical validation of the soundness lemmas over GF(2^8)
+// (experiments E2, E4, E13 at test scale; the error_prob benchmark runs
+// more trials).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gf/gf2.h"
+#include "vss/soundness.h"
+
+namespace dprbg {
+namespace {
+
+using F8 = GF2_8;  // p = 256: error probabilities large enough to measure
+
+// 3-sigma binomial tolerance around expectation.
+void expect_rate_near(const SoundnessResult& r, double expected) {
+  const double sigma =
+      std::sqrt(expected * (1 - expected) / double(r.trials));
+  EXPECT_NEAR(r.rate(), expected, 4 * sigma + 1e-9)
+      << "accepts=" << r.accepts << "/" << r.trials;
+}
+
+TEST(SoundnessTest, Lemma1VssErrorIsOneOverP) {
+  const auto r = vss_soundness_trials<F8>(7, 2, 60000, 1);
+  expect_rate_near(r, 1.0 / 256);
+}
+
+TEST(SoundnessTest, Lemma1HoldsAcrossSystemSizes) {
+  for (int t : {1, 3}) {
+    const int n = 3 * t + 1;
+    const auto r = vss_soundness_trials<F8>(n, t, 40000, 10 + t);
+    expect_rate_near(r, 1.0 / 256);
+  }
+}
+
+TEST(SoundnessTest, Lemma3BatchErrorIsMOverP) {
+  for (unsigned m : {1u, 4u, 16u}) {
+    const auto r = batch_soundness_trials<F8>(7, 2, m, 60000, 20 + m);
+    expect_rate_near(r, double(m) / 256);
+  }
+}
+
+TEST(SoundnessTest, Lemma3ScalesLinearlyInM) {
+  const auto small = batch_soundness_trials<F8>(7, 2, 2, 40000, 30);
+  const auto large = batch_soundness_trials<F8>(7, 2, 32, 40000, 31);
+  // 16x more roots -> ~16x the acceptance rate.
+  EXPECT_GT(large.rate(), 8 * small.rate());
+  EXPECT_LT(large.rate(), 32 * small.rate());
+}
+
+TEST(SoundnessTest, Lemma5BitGenErrorIsMOverP) {
+  // Broadcast-free decision rule with t garbage shares mixed in.
+  for (unsigned m : {1u, 8u}) {
+    const auto r = bitgen_soundness_trials<F8>(13, 2, m, 30000, 40 + m);
+    expect_rate_near(r, double(m) / 256);
+  }
+}
+
+TEST(SoundnessTest, LargeFieldNeverAccepts) {
+  // Over GF(2^64) the same optimal dealer never wins in any feasible
+  // number of trials.
+  const auto r = vss_soundness_trials<GF2_64>(7, 2, 5000, 50);
+  EXPECT_EQ(r.accepts, 0u);
+  const auto rb = batch_soundness_trials<GF2_64>(7, 2, 16, 2000, 51);
+  EXPECT_EQ(rb.accepts, 0u);
+}
+
+}  // namespace
+}  // namespace dprbg

@@ -1,0 +1,181 @@
+// Tests for Protocol VSS (Fig. 2): completeness, soundness (Lemma 1),
+// cost accounting (Lemma 2), fault tolerance.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "dprbg/trusted_dealer.h"
+#include "gf/gf2.h"
+#include "net/cluster.h"
+#include "vss/vss.h"
+
+namespace dprbg {
+namespace {
+
+using F = GF2_64;
+
+struct VssRun {
+  std::vector<std::optional<VssOutcome<F>>> outcomes;
+};
+
+VssRun run_vss(int n, int t, std::uint64_t seed, unsigned poly_degree,
+               const std::vector<int>& faulty = {},
+               const Cluster::Program& adversary = nullptr) {
+  auto coins = trusted_dealer_coins<F>(n, t, 1, seed);
+  Chacha dealer_rng(seed, 777);
+  const auto poly = Polynomial<F>::random(poly_degree, dealer_rng);
+  VssRun run;
+  run.outcomes.assign(n, std::nullopt);
+  Cluster cluster(n, t, seed);
+  cluster.run(
+      [&](PartyIo& io) {
+        std::optional<Polynomial<F>> mine;
+        if (io.id() == 0) mine = poly;
+        run.outcomes[io.id()] = vss_share_and_verify<F>(
+            io, /*dealer=*/0, t, mine, coins[io.id()][0]);
+      },
+      faulty, adversary);
+  return run;
+}
+
+TEST(VssTest, HonestDealerAccepted) {
+  const auto run = run_vss(7, 2, 1, /*poly_degree=*/2);
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE(run.outcomes[i].has_value());
+    EXPECT_TRUE(run.outcomes[i]->accepted) << "player " << i;
+  }
+}
+
+TEST(VssTest, SharesMatchDealtPolynomial) {
+  Chacha dealer_rng(2, 777);
+  const auto poly = Polynomial<F>::random(2, dealer_rng);
+  const auto run = run_vss(7, 2, 2, 2);
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_EQ(run.outcomes[i]->share, poly(eval_point<F>(i)));
+  }
+}
+
+TEST(VssTest, OverDegreeDealerRejected) {
+  // Degree t+1 sharing: over GF(2^64), acceptance probability is 2^-64.
+  const auto run = run_vss(7, 2, 3, /*poly_degree=*/3);
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_FALSE(run.outcomes[i]->accepted) << "player " << i;
+  }
+}
+
+TEST(VssTest, FarOverDegreeDealerRejected) {
+  const auto run = run_vss(7, 2, 4, /*poly_degree=*/6);
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_FALSE(run.outcomes[i]->accepted);
+  }
+}
+
+TEST(VssTest, UnanimousUnderCrashFaults) {
+  const auto run = run_vss(7, 2, 5, 2, {3, 6}, nullptr);
+  for (int i = 0; i < 7; ++i) {
+    if (i == 3 || i == 6) continue;
+    EXPECT_TRUE(run.outcomes[i]->accepted) << "player " << i;
+  }
+}
+
+TEST(VssTest, ByzantineCombinersCannotForceReject) {
+  // Faulty players broadcast wrong beta values; honest players must still
+  // accept an honest dealer (Berlekamp-Welch absorbs t lies).
+  const int n = 7, t = 2;
+  auto coins = trusted_dealer_coins<F>(n, t, 1, 6);
+  Chacha dealer_rng(6, 777);
+  const auto poly = Polynomial<F>::random(t, dealer_rng);
+  std::vector<std::optional<VssOutcome<F>>> outcomes(n);
+  Cluster cluster(n, t, 6);
+  cluster.run(
+      [&](PartyIo& io) {
+        std::optional<Polynomial<F>> mine;
+        if (io.id() == 0) mine = poly;
+        outcomes[io.id()] =
+            vss_share_and_verify<F>(io, 0, t, mine, coins[io.id()][0]);
+      },
+      {4, 5},
+      [&](PartyIo& io) {
+        // Participate in the coin exposure honestly (shares are valid),
+        // then lie in the combination broadcast.
+        (void)coin_expose<F>(io, coins[io.id()][0]);
+        ByteWriter w;
+        write_elem(w, random_element<F>(io.rng()));
+        io.send_all(make_tag(ProtoId::kVss, 0, 2), w.data());
+        io.sync();
+      });
+  for (int i = 0; i < n; ++i) {
+    if (i == 4 || i == 5) continue;
+    EXPECT_TRUE(outcomes[i]->accepted) << "player " << i;
+  }
+}
+
+TEST(VssTest, InconsistentSharesRejected) {
+  // A Byzantine dealer sends shares of a *high-degree* polynomial by
+  // sending each player a random value: with overwhelming probability no
+  // degree-2 polynomial fits any 5 of the 7 random points.
+  const int n = 7, t = 2;
+  auto coins = trusted_dealer_coins<F>(n, t, 1, 7);
+  std::vector<std::optional<VssOutcome<F>>> outcomes(n);
+  Cluster cluster(n, t, 7);
+  cluster.run(
+      [&](PartyIo& io) {
+        outcomes[io.id()] = vss_share_and_verify<F>(
+            io, 0, t, std::nullopt, coins[io.id()][0]);
+      },
+      {0},
+      [&](PartyIo& io) {
+        // Dealer role: random junk shares, then follow the protocol shape.
+        for (int i = 0; i < io.n(); ++i) {
+          ByteWriter w;
+          write_elem(w, random_element<F>(io.rng()));
+          write_elem(w, random_element<F>(io.rng()));
+          io.send(i, make_tag(ProtoId::kVss, 0, 0), std::move(w).take());
+        }
+        (void)coin_expose<F>(io, coins[io.id()][0]);
+        io.sync();
+      });
+  for (int i = 1; i < n; ++i) {
+    EXPECT_FALSE(outcomes[i]->accepted) << "player " << i;
+  }
+}
+
+TEST(VssTest, LargerSystemsWork) {
+  for (int t : {1, 3, 4}) {
+    const int n = 3 * t + 1;
+    const auto run = run_vss(n, t, 100 + t, t);
+    for (int i = 0; i < n; ++i) {
+      EXPECT_TRUE(run.outcomes[i]->accepted) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(VssTest, CostMatchesLemma2Shape) {
+  // Lemma 2: 2 interpolations per player, 2 rounds, O(n) messages of size
+  // k. We check the interpolation count and the communication volume.
+  const int n = 7, t = 2;
+  auto coins = trusted_dealer_coins<F>(n, t, 1, 8);
+  Chacha dealer_rng(8, 777);
+  const auto poly = Polynomial<F>::random(t, dealer_rng);
+  Cluster cluster(n, t, 8);
+  cluster.run(std::vector<Cluster::Program>(n, [&](PartyIo& io) {
+    std::optional<Polynomial<F>> mine;
+    if (io.id() == 0) mine = poly;
+    (void)vss_share_and_verify<F>(io, 0, t, mine, coins[io.id()][0]);
+  }));
+  // Each player: 1 interpolation for the coin + 1 for the degree check.
+  for (int i = 0; i < n; ++i) {
+    EXPECT_LE(cluster.per_player_field_ops()[i].interpolations, 2u)
+        << "player " << i;
+  }
+  // Communication: coin shares (n*(n-1)) + dealer shares (n-1) + combos
+  // (n*(n-1)); all messages O(k) bytes.
+  const auto& comm = cluster.comm();
+  EXPECT_LE(comm.messages, static_cast<std::uint64_t>(2 * n * n + n));
+  EXPECT_EQ(comm.rounds, 2u);
+}
+
+}  // namespace
+}  // namespace dprbg
