@@ -1,0 +1,123 @@
+// Chaos experiment (Lemma 8 degradation curve): Coin-Gen under seeded
+// random link-fault plans of increasing intensity.
+//
+// Paper claim (Lemma 8): the expected number of leader-election
+// iterations is O(1) — each iteration's leader is faulty with probability
+// <= t/n, so E[iterations] <= n/(n-t). Link faults charged to a player
+// set of size <= t (net/fault.h) are within the Byzantine budget, so the
+// iteration count should inflate only mildly with the fault rate: a
+// faulted leader costs one extra iteration (and two seed coins) but never
+// safety. This experiment charts success rate, iteration inflation, and
+// seed-coin consumption as the per-link fault probability grows.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "coin/coin_gen.h"
+#include "dprbg/trusted_dealer.h"
+#include "gf/gf2.h"
+#include "net/cluster.h"
+#include "net/fault.h"
+
+namespace dprbg {
+namespace {
+
+using F = GF2_64;
+using bench::fmt;
+
+struct Row {
+  unsigned runs = 0;
+  unsigned successes = 0;
+  double mean_iterations = 0;
+  double mean_seed_coins = 0;
+  FaultCounters faults;  // totals across all runs
+  double wall_ms = 0;    // total across all runs
+};
+
+Row measure(int n, unsigned t, unsigned m, double rate, unsigned seeds) {
+  Row row;
+  double iter_sum = 0;
+  double coin_sum = 0;
+  unsigned decided = 0;
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    auto genesis = trusted_dealer_coins<F>(n, t, 8, seed);
+    Cluster cluster(n, static_cast<int>(t), seed);
+    if (rate > 0) {
+      FaultPlanParams params;
+      params.n = n;
+      params.t = t;
+      params.rounds = 48;
+      params.fault_rate = rate;
+      cluster.set_fault_injector(std::make_shared<FaultInjector>(
+          random_fault_plan(params, seed)));
+    }
+    std::vector<CoinGenResult<F>> results(n);
+    const auto start = std::chrono::steady_clock::now();
+    cluster.run(std::vector<Cluster::Program>(
+        n, [&](PartyIo& io) {
+          CoinPool<F> pool;
+          for (auto& c : genesis[io.id()]) pool.add(std::move(c));
+          results[io.id()] = coin_gen<F>(io, m, pool);
+        }));
+    const auto stop = std::chrono::steady_clock::now();
+    row.wall_ms +=
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    // Player 1 is never the charged player's only honest witness at
+    // n >= 6t + 1; any non-charged player reports the same numbers
+    // (ChaosSoakTest asserts exactly that).
+    const auto& r = results[1];
+    ++row.runs;
+    if (r.success) {
+      ++row.successes;
+      ++decided;
+      iter_sum += r.iterations;
+      coin_sum += r.seed_coins_used;
+    }
+    row.faults += cluster.faults();
+  }
+  if (decided > 0) {
+    row.mean_iterations = iter_sum / decided;
+    row.mean_seed_coins = coin_sum / decided;
+  }
+  return row;
+}
+
+}  // namespace
+}  // namespace dprbg
+
+int main() {
+  using namespace dprbg;
+  const int n = 7;
+  const unsigned t = 1;
+  const unsigned m = 8;
+  const unsigned seeds = 30;
+
+  bench::print_header(
+      "Coin-Gen under link faults (Lemma 8 degradation)",
+      "E[iterations] = O(1); faults charged to <= t players cost extra "
+      "iterations/seed coins, never safety");
+  std::printf("n=%d t=%u M=%u, %u seeded random fault plans per rate; "
+              "faults charged to one player\n\n",
+              n, t, m, seeds);
+
+  bench::Table table({"fault_rate", "success", "mean_iters",
+                      "mean_seed_coins", "dropped", "delayed", "dup",
+                      "corrupt", "total_ms"});
+  for (double rate : {0.0, 0.02, 0.05, 0.10, 0.15, 0.20}) {
+    const Row row = measure(n, t, m, rate, seeds);
+    table.row({fmt(rate), fmt(row.successes) + "/" + fmt(row.runs),
+               fmt(row.mean_iterations), fmt(row.mean_seed_coins),
+               fmt(row.faults.dropped), fmt(row.faults.delayed),
+               fmt(row.faults.duplicated), fmt(row.faults.corrupted),
+               fmt(row.wall_ms)});
+  }
+  table.print();
+  std::printf(
+      "\nReading: success stays near 100%% and mean_iters near the "
+      "fault-free baseline — a faulted leader costs one retry (Lemma 8's "
+      "geometric tail), and seed-coin use grows by 1 per retry.\n");
+  return 0;
+}

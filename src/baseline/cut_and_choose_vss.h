@@ -78,10 +78,12 @@ CutAndChooseOutcome<F> cut_and_choose_vss(
   std::vector<F> gammas(kappa, F::zero());
   bool have_shares = false;
   if (const Msg* mine = io.inbox().from(dealer, share_tag)) {
-    ByteReader rd(mine->body);
-    alpha = read_elem<F>(rd);
-    for (unsigned j = 0; j < kappa; ++j) gammas[j] = read_elem<F>(rd);
-    have_shares = rd.done();
+    // Exactly alpha + kappa gammas, size-validated before reading.
+    if (const auto row = decode_elem_row<F>(mine->body, 1 + kappa)) {
+      alpha = (*row)[0];
+      for (unsigned j = 0; j < kappa; ++j) gammas[j] = (*row)[1 + j];
+      have_shares = true;
+    }
   }
   if (!coin_val.has_value()) {
     io.sync();
@@ -105,13 +107,10 @@ CutAndChooseOutcome<F> cut_and_choose_vss(
   // kappa degree checks = kappa interpolations (the baseline's cost).
   std::vector<std::vector<PointValue<F>>> points(kappa);
   for (const Msg* m : in.with_tag(reveal_tag)) {
-    ByteReader rd(m->body);
-    std::vector<F> values;
-    values.reserve(kappa);
-    for (unsigned j = 0; j < kappa; ++j) values.push_back(read_elem<F>(rd));
-    if (!rd.done()) continue;
+    const auto values = decode_elem_row<F>(m->body, kappa);
+    if (!values) continue;
     for (unsigned j = 0; j < kappa; ++j) {
-      points[j].push_back({eval_point<F>(m->from), values[j]});
+      points[j].push_back({eval_point<F>(m->from), (*values)[j]});
     }
   }
   CutAndChooseOutcome<F> out;

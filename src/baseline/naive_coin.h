@@ -57,9 +57,9 @@ std::optional<F> naive_coin(PartyIo& io, unsigned t, unsigned instance = 0) {
   std::vector<std::optional<F>> my_shares(n);
   for (int dealer = 0; dealer < n; ++dealer) {
     if (const Msg* m = io.inbox().from(dealer, deal_tag)) {
-      ByteReader rd(m->body);
-      const F share = read_elem<F>(rd);
-      if (rd.done()) my_shares[dealer] = share;
+      if (const auto share = decode_elem_row<F>(m->body, 1)) {
+        my_shares[dealer] = (*share)[0];
+      }
     }
   }
 
@@ -78,11 +78,17 @@ std::optional<F> naive_coin(PartyIo& io, unsigned t, unsigned instance = 0) {
   // n separate decodes: the cost the paper eliminates.
   std::vector<std::vector<PointValue<F>>> points(n);
   for (const Msg* m : in.with_tag(open_tag)) {
+    // Exact-size batch validation before parsing; a malformed batch is
+    // rejected wholesale rather than contributing a valid-looking prefix.
+    if (m->body.size() !=
+        static_cast<std::size_t>(n) * (1 + F::kBytes)) {
+      continue;
+    }
     ByteReader rd(m->body);
     for (int dealer = 0; dealer < n; ++dealer) {
       const bool present = rd.u8() != 0;
       const F share = read_elem<F>(rd);
-      if (present && rd.ok()) {
+      if (present) {
         points[dealer].push_back({eval_point<F>(m->from), share});
       }
     }

@@ -91,6 +91,28 @@ std::optional<Polynomial<F>> decode_combination(
   return poly;
 }
 
+// Batched combination message (bit_gen_all step 3): per dealer, one
+// presence flag + one field element. Exact-size validation up front; a
+// malformed batch rejects as a whole (the sender is dropped from every
+// instance), so a Byzantine sender cannot contribute to some instances
+// and corrupt others within one message.
+template <FiniteField F>
+std::optional<std::vector<std::optional<F>>> decode_combo_batch(
+    std::span<const std::uint8_t> bytes, int n) {
+  if (bytes.size() != static_cast<std::size_t>(n) * (1 + F::kBytes)) {
+    return std::nullopt;
+  }
+  ByteReader rd(bytes);
+  std::vector<std::optional<F>> out(n);
+  for (int dealer = 0; dealer < n; ++dealer) {
+    const bool present = rd.u8() != 0;
+    const F beta = read_elem<F>(rd);
+    if (present) out[dealer] = beta;
+  }
+  if (!rd.done()) return std::nullopt;
+  return out;
+}
+
 }  // namespace bitgen_detail
 
 // Single-dealer Bit-Gen, exactly Fig. 4 (used standalone by tests and the
@@ -121,11 +143,9 @@ BitGenView<F> bit_gen_single(PartyIo& io, int dealer, unsigned m_total,
 
   BitGenView<F> view;
   if (const Msg* mine = io.inbox().from(dealer, row_tag)) {
-    ByteReader rd(mine->body);
-    std::vector<F> row;
-    row.reserve(m_total);
-    for (unsigned j = 0; j < m_total; ++j) row.push_back(read_elem<F>(rd));
-    if (rd.done()) view.my_row = std::move(row);
+    if (auto row = decode_elem_row<F>(mine->body, m_total)) {
+      view.my_row = std::move(*row);
+    }
   }
   if (!r_val.has_value()) {
     io.sync();
@@ -142,10 +162,9 @@ BitGenView<F> bit_gen_single(PartyIo& io, int dealer, unsigned m_total,
 
   // Steps 4-5: collect S and decode.
   for (const Msg* m : in.with_tag(combo_tag)) {
-    ByteReader rd(m->body);
-    const F beta = read_elem<F>(rd);
-    if (!rd.done()) continue;
-    view.combos.emplace(m->from, beta);
+    const auto beta = decode_elem_row<F>(m->body, 1);
+    if (!beta) continue;
+    view.combos.emplace(m->from, (*beta)[0]);
   }
   view.poly = bitgen_detail::decode_combination<F>(view.combos, n, t);
   return view;
@@ -186,11 +205,9 @@ BitGenAllOutcome<F> bit_gen_all(PartyIo& io,
   const std::optional<F> r_val = coin_expose<F>(io, challenge_coin, instance);
   for (int dealer = 0; dealer < n; ++dealer) {
     if (const Msg* m = io.inbox().from(dealer, row_tag)) {
-      ByteReader rd(m->body);
-      std::vector<F> row;
-      row.reserve(m_total);
-      for (unsigned j = 0; j < m_total; ++j) row.push_back(read_elem<F>(rd));
-      if (rd.done()) out.views[dealer].my_row = std::move(row);
+      if (auto row = decode_elem_row<F>(m->body, m_total)) {
+        out.views[dealer].my_row = std::move(*row);
+      }
     }
   }
   if (!r_val.has_value()) {
@@ -213,16 +230,11 @@ BitGenAllOutcome<F> bit_gen_all(PartyIo& io,
   const Inbox& in = io.sync();
 
   for (const Msg* m : in.with_tag(combo_tag)) {
-    ByteReader rd(m->body);
+    const auto batch = bitgen_detail::decode_combo_batch<F>(m->body, n);
+    if (!batch) continue;  // malformed: drop the sender from every instance
     for (int dealer = 0; dealer < n; ++dealer) {
-      const bool present = rd.u8() != 0;
-      const F beta = read_elem<F>(rd);
-      if (present) out.views[dealer].combos.emplace(m->from, beta);
-    }
-    if (!rd.ok()) {
-      // Malformed batch: drop this sender from every instance.
-      for (int dealer = 0; dealer < n; ++dealer) {
-        out.views[dealer].combos.erase(m->from);
+      if ((*batch)[dealer]) {
+        out.views[dealer].combos.emplace(m->from, *(*batch)[dealer]);
       }
     }
   }

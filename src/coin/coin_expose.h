@@ -50,10 +50,11 @@ std::optional<F> coin_expose(PartyIo& io, const SealedCoin<F>& coin,
 
   std::vector<PointValue<F>> points;
   for (const Msg* m : in.with_tag(tag)) {
-    ByteReader r(m->body);
-    const F share = read_elem<F>(r);
-    if (!r.done()) continue;  // malformed: drop the sender's point
-    points.push_back({eval_point<F>(m->from), share});
+    // Exactly one field element, validated before use; anything else is
+    // malformed and drops the sender's point.
+    const auto share = decode_elem_row<F>(m->body, 1);
+    if (!share) continue;
+    points.push_back({eval_point<F>(m->from), (*share)[0]});
   }
   if (points.size() < coin.degree + 1) return std::nullopt;
   // Tolerate up to t lies, but never more than the distance allows.

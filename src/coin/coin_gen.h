@@ -118,15 +118,26 @@ struct CliqueMsg {
 template <FiniteField F>
 std::optional<CliqueMsg<F>> decode_clique_msg(
     const std::vector<std::uint8_t>& bytes, int n, unsigned t) {
+  // Shape check before any parsing or allocation: an honest message is
+  // one count byte plus `size` fixed-width entries, and a clique can
+  // never exceed n dealers.
+  if (bytes.empty()) return std::nullopt;
+  const unsigned size = bytes[0];
+  const std::size_t entry_bytes =
+      1 + static_cast<std::size_t>(t + 1) * F::kBytes;
+  if (size > static_cast<unsigned>(n) ||
+      bytes.size() != 1 + size * entry_bytes) {
+    return std::nullopt;
+  }
   ByteReader rd(bytes);
-  const unsigned size = rd.u8();
+  rd.u8();  // the count byte validated above
   CliqueMsg<F> msg;
   for (unsigned e = 0; e < size; ++e) {
     const int j = rd.u8();
+    if (j >= n) return std::nullopt;
     std::vector<F> coeffs;
     coeffs.reserve(t + 1);
     for (unsigned c = 0; c <= t; ++c) coeffs.push_back(read_elem<F>(rd));
-    if (j >= n) return std::nullopt;
     msg.clique.push_back(j);
     msg.polys.emplace(j, Polynomial<F>{std::move(coeffs)});
   }

@@ -23,4 +23,11 @@ std::string to_string(const CommCounters& c) {
   return os.str();
 }
 
+std::string to_string(const FaultCounters& c) {
+  std::ostringstream os;
+  os << "dropped=" << c.dropped << " delayed=" << c.delayed
+     << " duplicated=" << c.duplicated << " corrupted=" << c.corrupted;
+  return os.str();
+}
+
 }  // namespace dprbg

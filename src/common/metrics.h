@@ -80,8 +80,35 @@ struct CommCounters {
   }
 };
 
+// Link-fault totals, filled in by net::Cluster when a FaultInjector
+// (net/fault.h) is installed. All-zero in a fault-free run; each counter
+// is per affected message (a message both corrupted and delayed bumps
+// both `corrupted` and `delayed`).
+struct FaultCounters {
+  std::uint64_t dropped = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t duplicated = 0;  // extra copies created
+  std::uint64_t corrupted = 0;
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return dropped + delayed + duplicated + corrupted;
+  }
+  FaultCounters& operator+=(const FaultCounters& o) noexcept {
+    dropped += o.dropped;
+    delayed += o.delayed;
+    duplicated += o.duplicated;
+    corrupted += o.corrupted;
+    return *this;
+  }
+  FaultCounters operator-(const FaultCounters& o) const noexcept {
+    return {dropped - o.dropped, delayed - o.delayed,
+            duplicated - o.duplicated, corrupted - o.corrupted};
+  }
+};
+
 // Human-readable one-line summaries for harness output.
 std::string to_string(const FieldCounters& c);
 std::string to_string(const CommCounters& c);
+std::string to_string(const FaultCounters& c);
 
 }  // namespace dprbg

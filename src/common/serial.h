@@ -78,6 +78,23 @@ class ByteReader {
     return out;
   }
 
+  // Bounds-checked bulk read of `len` raw bytes. The length is validated
+  // against both the caller's cap and the bytes actually present *before*
+  // anything is allocated, so a hostile length prefix can neither trigger
+  // a huge allocation nor read out of bounds.
+  std::vector<std::uint8_t> bytes(std::size_t len,
+                                  std::size_t max_len = 1u << 20) {
+    if (!ok_ || len > max_len || len > remaining()) {
+      ok_ = false;
+      pos_ = data_.size();
+      return {};
+    }
+    std::vector<std::uint8_t> out(data_.begin() + pos_,
+                                  data_.begin() + pos_ + len);
+    pos_ += len;
+    return out;
+  }
+
   [[nodiscard]] bool ok() const { return ok_; }
   [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
   // True iff decoding consumed the whole buffer without error.

@@ -6,6 +6,10 @@
 
 #pragma once
 
+#include <optional>
+#include <span>
+#include <vector>
+
 #include "common/serial.h"
 #include "gf/field_concept.h"
 
@@ -26,6 +30,21 @@ F read_elem(ByteReader& r) {
     v |= std::uint64_t{r.u8()} << (8 * i);
   }
   return F::from_uint(v);
+}
+
+// Decodes an untrusted buffer as exactly `count` field elements — the
+// only shape an honest sender produces for a share row. The size is
+// validated before any allocation, so a Byzantine body can neither
+// over-allocate nor smuggle trailing bytes.
+template <FiniteField F>
+std::optional<std::vector<F>> decode_elem_row(
+    std::span<const std::uint8_t> bytes, std::size_t count) {
+  if (bytes.size() != count * F::kBytes) return std::nullopt;
+  ByteReader r(bytes);
+  std::vector<F> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(read_elem<F>(r));
+  return out;
 }
 
 }  // namespace dprbg

@@ -61,6 +61,10 @@ inline std::vector<std::uint8_t> encode_echoes(
 inline std::optional<std::vector<MaybeValue>> decode_echoes(
     const std::vector<std::uint8_t>& bytes, int n,
     std::size_t max_value_size) {
+  // Every sender entry occupies at least 5 bytes (flag + u32 length);
+  // reject batches that cannot possibly hold n entries before touching
+  // them, so length validation always precedes allocation.
+  if (bytes.size() < static_cast<std::size_t>(n) * 5) return std::nullopt;
   ByteReader r(bytes);
   std::vector<MaybeValue> out(n);
   for (int s = 0; s < n; ++s) {
@@ -69,8 +73,8 @@ inline std::optional<std::vector<MaybeValue>> decode_echoes(
     if (!r.ok() || len > max_value_size || len > r.remaining()) {
       return std::nullopt;
     }
-    std::vector<std::uint8_t> value(len);
-    for (std::uint32_t i = 0; i < len; ++i) value[i] = r.u8();
+    std::vector<std::uint8_t> value = r.bytes(len, max_value_size);
+    if (!r.ok()) return std::nullopt;
     if (present) out[s] = std::move(value);
   }
   if (!r.done()) return std::nullopt;

@@ -7,12 +7,23 @@
 // site, but the generic ones below cover the recurring shapes:
 //
 //   crash            — send nothing, ever (the Cluster's default).
-//   sleeper          — behave honestly for a while, then crash.
+//   sleeper          — behave honestly for a while, then crash. The
+//                      end-to-end shape (a Coin-Gen dealer that completes
+//                      Bit-Gen honestly and dies before grade-cast) is
+//                      exercised by AdversaryLibTest.CoinGenDealerCrashes
+//                      MidProtocol.
+//   silent           — participate in every barrier but never send
+//                      (omission fault; unlike crash it keeps the barrier
+//                      count, so it models a live-but-mute peer).
 //   noise            — spray random bytes with plausible protocol tags
 //                      every round (fuzzes every deserialization path).
 //   replayer         — echo back every message it receives, to everyone
 //                      (stale/duplicated traffic).
 //   spammer          — flood one victim with junk on one tag.
+//
+// For *link*-level misbehaviour (lost/delayed/duplicated/corrupted
+// traffic attributed to a player budget) see net/fault.h — the injector
+// composes with any adversary in this zoo.
 //
 // All of them run for a bounded number of rounds and then return (the
 // Cluster's drop semantics keep the honest players running).
@@ -53,6 +64,16 @@ inline Cluster::Program sleeper_adversary(PhaseList phases,
     for (std::size_t p = 0; p < phases.size() && p < phases_to_run; ++p) {
       phases[p](io);
     }
+  };
+}
+
+// Omission fault: stays in lockstep (keeps arriving at barriers) for
+// `rounds` rounds without ever sending, then crashes. Distinct from
+// crash_adversary: the cluster still counts this player as active, so it
+// exercises the "live but mute" shape rather than the dropped-thread one.
+inline Cluster::Program silent_adversary(int rounds) {
+  return [rounds](PartyIo& io) {
+    for (int round = 0; round < rounds; ++round) io.sync();
   };
 }
 

@@ -53,13 +53,29 @@ void Cluster::do_exchange() {
   // Runs with mu_ held, all active threads quiescent. Collect every staged
   // envelope, account communication, and deliver sorted inboxes.
   std::vector<std::vector<Msg>> next(n_);
+  const std::uint64_t round = exchange_index_++;
+  if (injector_ != nullptr) {
+    // Delay-fault arrivals merge in ahead of this round's fresh traffic;
+    // the (from, tag) stable sort below interleaves them deterministically.
+    const auto due = delayed_.find(round);
+    if (due != delayed_.end()) {
+      for (auto& d : due->second) next[d.to].push_back(std::move(d.msg));
+      delayed_.erase(due);
+    }
+  }
   for (auto& p : parties_) {
     for (auto& env : p->staged_buffer()) {
       if (env.to != env.msg.from) {
         ++comm_.messages;
         comm_.bytes += env.msg.body.size() + kHeaderBytes;
       }
-      next[env.to].push_back(std::move(env.msg));
+      if (injector_ != nullptr && env.to != env.msg.from) {
+        // Self-deliveries are not links and are never faulted.
+        injector_->route(round, env.to, std::move(env.msg), next[env.to],
+                         delayed_, faults_);
+      } else {
+        next[env.to].push_back(std::move(env.msg));
+      }
     }
     p->staged_buffer().clear();
   }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "net/fault.h"
 #include "net/msg.h"
 #include "rng/chacha.h"
 
@@ -98,6 +99,22 @@ class Cluster {
   [[nodiscard]] int n() const { return n_; }
   [[nodiscard]] int t() const { return t_; }
 
+  // Installs a link-fault injector consulted at every exchange (see
+  // net/fault.h for the fault model and replay contract). Pass nullptr to
+  // restore perfect links. Must not be called while run() is active; with
+  // no injector (or an empty plan) delivery is byte-identical to a
+  // fault-free cluster. Fault rounds are indexed by the cluster's total
+  // exchange count since construction.
+  void set_fault_injector(std::shared_ptr<const FaultInjector> injector) {
+    injector_ = std::move(injector);
+  }
+  [[nodiscard]] const FaultInjector* fault_injector() const {
+    return injector_.get();
+  }
+  // Aggregate fault effects across all run() calls (all-zero without an
+  // injector).
+  [[nodiscard]] const FaultCounters& faults() const { return faults_; }
+
   // Aggregate communication across all players and all run() calls.
   [[nodiscard]] const CommCounters& comm() const { return comm_; }
   // Aggregate field-operation counts across all player threads.
@@ -134,6 +151,14 @@ class Cluster {
   CommCounters comm_;
   FieldCounters field_ops_;
   std::vector<FieldCounters> per_player_field_ops_;
+
+  // Link-fault injection state (see net/fault.h). `exchange_index_`
+  // counts do_exchange calls since construction and indexes fault plans;
+  // `delayed_` holds kDelay-ed messages until their delivery exchange.
+  std::shared_ptr<const FaultInjector> injector_;
+  DelayQueue delayed_;
+  std::uint64_t exchange_index_ = 0;
+  FaultCounters faults_;
 };
 
 }  // namespace dprbg

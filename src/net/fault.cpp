@@ -1,0 +1,208 @@
+#include "net/fault.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "rng/chacha.h"
+
+namespace dprbg {
+
+namespace {
+
+// Mixes the fault coordinates into a per-(round, link) stream id so the
+// corruption mask depends only on replayable quantities.
+std::uint64_t link_stream(std::uint64_t round, int from, int to) {
+  std::uint64_t h = round * 0x9E3779B97F4A7C15ull;
+  h ^= (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) |
+       static_cast<std::uint32_t>(to);
+  return h;
+}
+
+}  // namespace
+
+void FaultPlan::add(std::uint64_t round, int from, int to, FaultSpec spec) {
+  DPRBG_CHECK(from != to);
+  // Attribution: a link fault must be chargeable to a (budgeted) player.
+  DPRBG_CHECK(charged_.count(from) != 0 || charged_.count(to) != 0);
+  if (spec.param == 0) spec.param = 1;
+  faults_[Key{round, from, to}].push_back(spec);
+}
+
+void FaultPlan::add_partition(std::uint64_t first_round,
+                              std::uint64_t last_round,
+                              const std::vector<int>& island, int n) {
+  std::set<int> inside(island.begin(), island.end());
+  for (std::uint64_t r = first_round; r <= last_round; ++r) {
+    for (int a : island) {
+      for (int b = 0; b < n; ++b) {
+        if (inside.count(b) != 0) continue;
+        add(r, a, b, {FaultAction::kDrop, 1});
+        add(r, b, a, {FaultAction::kDrop, 1});
+      }
+    }
+  }
+}
+
+void FaultPlan::isolate(std::uint64_t first_round, std::uint64_t last_round,
+                        int player, int n) {
+  add_partition(first_round, last_round, {player}, n);
+}
+
+const std::vector<FaultSpec>* FaultPlan::find(std::uint64_t round, int from,
+                                              int to) const {
+  const auto it = faults_.find(Key{round, from, to});
+  return it == faults_.end() ? nullptr : &it->second;
+}
+
+std::size_t FaultPlan::size() const {
+  std::size_t total = 0;
+  for (const auto& [key, specs] : faults_) total += specs.size();
+  return total;
+}
+
+std::uint64_t FaultPlan::horizon() const {
+  return faults_.empty() ? 0 : std::get<0>(faults_.rbegin()->first);
+}
+
+FaultPlan random_fault_plan(const FaultPlanParams& params,
+                            std::uint64_t seed) {
+  DPRBG_CHECK(params.n >= 2);
+  Chacha rng(seed, /*stream=*/0xFA017ull);
+  FaultPlan plan;
+
+  // Pick the charged set: a uniform subset of the chargeable players of
+  // size min(t, max_charged, #chargeable).
+  std::vector<int> chargeable;
+  for (int i = 0; i < params.n; ++i) {
+    if (std::find(params.never_charge.begin(), params.never_charge.end(),
+                  i) == params.never_charge.end()) {
+      chargeable.push_back(i);
+    }
+  }
+  std::size_t budget = std::min<std::size_t>(
+      {params.t, params.max_charged, chargeable.size()});
+  for (std::size_t picked = 0; picked < budget; ++picked) {
+    const std::size_t idx =
+        picked + static_cast<std::size_t>(
+                     rng.uniform(chargeable.size() - picked));
+    std::swap(chargeable[picked], chargeable[idx]);
+    plan.charge(chargeable[picked]);
+  }
+  if (plan.charged().empty()) return plan;  // t == 0: nothing to fault
+
+  // Directed links adjacent to the charged set, in deterministic order.
+  std::vector<std::pair<int, int>> links;
+  for (int c : plan.charged()) {
+    for (int other = 0; other < params.n; ++other) {
+      if (other == c) continue;
+      links.emplace_back(c, other);
+      if (plan.charged().count(other) == 0) links.emplace_back(other, c);
+    }
+  }
+
+  // fault_rate as a fixed-point threshold keeps the draw integral (and
+  // hence bit-exact across platforms).
+  const std::uint64_t kScale = 1u << 20;
+  const auto threshold = static_cast<std::uint64_t>(
+      std::clamp(params.fault_rate, 0.0, 1.0) *
+      static_cast<double>(kScale));
+  const unsigned max_delay = std::max(1u, params.max_delay);
+  for (std::uint64_t round = 0; round < params.rounds; ++round) {
+    for (const auto& [from, to] : links) {
+      if (rng.uniform(kScale) >= threshold) continue;
+      FaultSpec spec;
+      switch (rng.uniform(5)) {
+        case 0:
+        case 1:  // drops are the most common real-world failure
+          spec = {FaultAction::kDrop, 1};
+          break;
+        case 2:
+          spec = {FaultAction::kDelay,
+                  1 + static_cast<unsigned>(rng.uniform(max_delay))};
+          break;
+        case 3:
+          spec = {FaultAction::kDuplicate, 1};
+          break;
+        default:
+          spec = {FaultAction::kCorrupt,
+                  1 + static_cast<unsigned>(rng.uniform(4))};
+          break;
+      }
+      plan.add(round, from, to, spec);
+    }
+  }
+  return plan;
+}
+
+void FaultInjector::corrupt_body(std::uint64_t round, int from, int to,
+                                 unsigned bytes,
+                                 std::vector<std::uint8_t>& body) const {
+  Chacha rng(corruption_seed_, link_stream(round, from, to));
+  if (body.empty()) {
+    // Garbage on an otherwise silent wire: materialize `bytes` junk.
+    body.resize(bytes);
+    rng.fill_bytes(body);
+    return;
+  }
+  for (unsigned i = 0; i < bytes; ++i) {
+    const auto pos = static_cast<std::size_t>(rng.uniform(body.size()));
+    // Nonzero mask: a corruption always changes the byte it touches.
+    body[pos] ^= static_cast<std::uint8_t>(1 + rng.uniform(255));
+  }
+}
+
+void FaultInjector::route(std::uint64_t round, int to, Msg msg,
+                          std::vector<Msg>& now, DelayQueue& later,
+                          FaultCounters& counters) const {
+  const std::vector<FaultSpec>* specs = plan_.find(round, msg.from, to);
+  if (specs == nullptr) {
+    now.push_back(std::move(msg));
+    return;
+  }
+  bool drop = false;
+  bool corrupt = false;
+  unsigned corrupt_bytes = 0;
+  unsigned delay = 0;
+  unsigned extra_copies = 0;
+  for (const FaultSpec& spec : *specs) {
+    switch (spec.action) {
+      case FaultAction::kDrop:
+        drop = true;
+        break;
+      case FaultAction::kDelay:
+        delay = std::max(delay, std::max(1u, spec.param));
+        break;
+      case FaultAction::kDuplicate:
+        extra_copies += std::max(1u, spec.param);
+        break;
+      case FaultAction::kCorrupt:
+        corrupt = true;
+        corrupt_bytes += std::max(1u, spec.param);
+        break;
+    }
+  }
+  if (drop) {
+    ++counters.dropped;
+    return;
+  }
+  if (corrupt) {
+    corrupt_body(round, msg.from, to, corrupt_bytes, msg.body);
+    ++counters.corrupted;
+  }
+  counters.duplicated += extra_copies;
+  if (delay > 0) counters.delayed += 1 + extra_copies;
+  for (unsigned copy = 0; copy < extra_copies; ++copy) {
+    if (delay > 0) {
+      later[round + delay].push_back(DelayedMsg{to, msg});
+    } else {
+      now.push_back(msg);
+    }
+  }
+  if (delay > 0) {
+    later[round + delay].push_back(DelayedMsg{to, std::move(msg)});
+  } else {
+    now.push_back(std::move(msg));
+  }
+}
+
+}  // namespace dprbg

@@ -95,13 +95,10 @@ BatchVssOutcome<F> batch_vss(
   BatchVssOutcome<F> out;
   out.shares.assign(expected_m, F::zero());
   if (const Msg* mine = io.inbox().from(dealer, share_tag)) {
-    ByteReader rd(mine->body);
-    std::vector<F> received;
-    received.reserve(expected_m);
-    for (unsigned j = 0; j < expected_m; ++j) {
-      received.push_back(read_elem<F>(rd));
+    // Exactly M elements, size-validated before any allocation.
+    if (auto received = decode_elem_row<F>(mine->body, expected_m)) {
+      out.shares = std::move(*received);
     }
-    if (rd.done()) out.shares = std::move(received);
   }
   if (!r_val.has_value()) {
     io.sync();
@@ -120,10 +117,9 @@ BatchVssOutcome<F> batch_vss(
   // announcers as in vss.h) certifies all M sharings at once.
   std::vector<PointValue<F>> points;
   for (const Msg* m : in.with_tag(combo_tag)) {
-    ByteReader rd(m->body);
-    const F beta = read_elem<F>(rd);
-    if (!rd.done()) continue;
-    points.push_back({eval_point<F>(m->from), beta});
+    const auto beta = decode_elem_row<F>(m->body, 1);
+    if (!beta) continue;
+    points.push_back({eval_point<F>(m->from), (*beta)[0]});
   }
   if (points.size() < static_cast<std::size_t>(n - static_cast<int>(t))) {
     return out;

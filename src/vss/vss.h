@@ -88,12 +88,10 @@ VssOutcome<F> vss_share_and_verify(
         coin_expose<F>(io, challenge_coin, instance);
     const Msg* mine = io.inbox().from(dealer, share_tag);
     if (mine != nullptr) {
-      ByteReader rd(mine->body);
-      alpha = read_elem<F>(rd);
-      gamma = read_elem<F>(rd);
-      if (!rd.done()) {
-        alpha = F::zero();
-        gamma = F::zero();
+      // Exactly (alpha, gamma), size-validated before reading.
+      if (const auto pair = decode_elem_row<F>(mine->body, 2)) {
+        alpha = (*pair)[0];
+        gamma = (*pair)[1];
       }
     }
     if (!r_val.has_value()) {
@@ -118,10 +116,9 @@ VssOutcome<F> vss_share_and_verify(
     // decoding unambiguous).
     std::vector<PointValue<F>> points;
     for (const Msg* m : in.with_tag(combo_tag)) {
-      ByteReader rd(m->body);
-      const F beta = read_elem<F>(rd);
-      if (!rd.done()) continue;
-      points.push_back({eval_point<F>(m->from), beta});
+      const auto beta = decode_elem_row<F>(m->body, 1);
+      if (!beta) continue;
+      points.push_back({eval_point<F>(m->from), (*beta)[0]});
     }
     VssOutcome<F> out;
     out.challenge = r;

@@ -6,6 +6,8 @@
 #include <optional>
 #include <vector>
 
+#include "coin/coin_gen.h"
+#include "dprbg/coin_pool.h"
 #include "dprbg/dprbg.h"
 #include "dprbg/trusted_dealer.h"
 #include "gf/gf2.h"
@@ -98,6 +100,75 @@ TEST(AdversaryLibTest, SleeperRunsPhasesThenCrashes) {
   EXPECT_EQ(seen[0], 1);
   EXPECT_EQ(seen[1], 0);
   EXPECT_EQ(seen[2], 0);
+}
+
+TEST(AdversaryLibTest, SilentAdversaryIsOmissionNotCrash) {
+  // Omission faults (alive in every barrier, never sending) must be no
+  // worse than crashes for the honest players.
+  expect_stream_survives(silent_adversary(/*rounds=*/150), 7);
+}
+
+TEST(AdversaryLibTest, CoinGenDealerCrashesMidProtocol) {
+  // A dealer that runs Coin-Gen's steps 1-3 (its own Bit-Gen instance,
+  // honestly) and then dies *before* the grade-cast of cliques — the
+  // nastiest crash point: its instance decodes everywhere and may appear
+  // in honest cliques, but it never announces a clique of its own and
+  // never votes. Honest players must still agree, and with only this one
+  // fault (t = 1) the run must succeed.
+  const int n = 7;
+  const unsigned t = 1;
+  const unsigned m = 2;
+  const int crasher = 5;
+  const std::uint64_t seed = 11;
+  auto genesis = trusted_dealer_coins<F>(n, t, 8, seed);
+  std::vector<CoinGenResult<F>> results(n);
+  std::vector<std::vector<std::optional<F>>> coins(
+      n, std::vector<std::optional<F>>(m));
+
+  PhaseList dealer_phases = {[&](PartyIo& io) {
+    // Steps 1-3 of coin_gen, verbatim: challenge + honest Bit-Gen.
+    CoinPool<F> pool;
+    for (auto& c : genesis[io.id()]) pool.add(std::move(c));
+    const SealedCoin<F> challenge = pool.take();
+    const unsigned m_total = m + 1;
+    std::vector<Polynomial<F>> my_polys;
+    for (unsigned j = 0; j < m_total; ++j) {
+      my_polys.push_back(Polynomial<F>::random(t, io.rng()));
+    }
+    bit_gen_all<F>(io, my_polys, m_total, t, challenge, /*instance=*/0);
+    // ...and crash here, before grade_cast_all.
+  }};
+
+  Cluster cluster(n, static_cast<int>(t), seed);
+  cluster.run(
+      [&](PartyIo& io) {
+        CoinPool<F> pool;
+        for (auto& c : genesis[io.id()]) pool.add(std::move(c));
+        results[io.id()] = coin_gen<F>(io, m, pool);
+        if (!results[io.id()].success) return;
+        const auto sealed = results[io.id()].sealed_coins(t);
+        for (unsigned h = 0; h < m; ++h) {
+          const SealedCoin<F> coin = h < sealed.size()
+                                         ? sealed[h]
+                                         : SealedCoin<F>{std::nullopt, t};
+          coins[io.id()][h] = coin_expose<F>(io, coin, /*instance=*/100 + h);
+        }
+      },
+      {crasher}, sleeper_adversary(std::move(dealer_phases), 1));
+
+  int ref = crasher == 0 ? 1 : 0;
+  EXPECT_TRUE(results[ref].success);
+  for (int i = 0; i < n; ++i) {
+    if (i == crasher) continue;
+    EXPECT_EQ(results[i].success, results[ref].success) << "player " << i;
+    EXPECT_EQ(results[i].clique, results[ref].clique) << "player " << i;
+    EXPECT_EQ(results[i].summed_dealers, results[ref].summed_dealers)
+        << "player " << i;
+    for (unsigned h = 0; h < m; ++h) {
+      ASSERT_TRUE(coins[i][h].has_value()) << "player " << i << " coin " << h;
+      EXPECT_EQ(*coins[i][h], *coins[ref][h]) << "player " << i;
+    }
+  }
 }
 
 TEST(AdversaryLibTest, NoiseDoesNotCorruptMetricsBeyondBytes) {

@@ -1,0 +1,85 @@
+// Shared invariant checkers for the chaos harness.
+//
+// The fault model (net/fault.h, DESIGN.md "Link faults") charges every
+// faulted link to a player set of size <= t, so the paper's guarantees
+// must keep holding for the players *outside* that set. These helpers
+// state those guarantees once — honest unanimity of protocol outputs and
+// the grade-cast confidence band — and stamp every failure with the fault
+// seed so a red run can be replayed deterministically.
+
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gradecast/gradecast.h"
+
+namespace dprbg::chaos {
+
+// Every chaos assertion carries this note: rerunning the test with the
+// printed seed reproduces the failing execution bit-for-bit.
+inline std::string replay_note(std::uint64_t seed) {
+  return "REPLAY: failing fault seed = " + std::to_string(seed);
+}
+
+// Honest-unanimity invariant: every player outside `charged` produced an
+// identical value. `what` names the output being compared (e.g.
+// "coin-gen success flag").
+template <typename T>
+void expect_honest_unanimous(const std::vector<T>& per_player,
+                             const std::set<int>& charged,
+                             std::uint64_t seed, const std::string& what) {
+  int ref = -1;
+  for (std::size_t i = 0; i < per_player.size(); ++i) {
+    if (charged.count(static_cast<int>(i)) != 0) continue;
+    if (ref < 0) {
+      ref = static_cast<int>(i);
+      continue;
+    }
+    EXPECT_EQ(per_player[i], per_player[ref])
+        << what << ": honest players " << i << " and " << ref
+        << " disagree; " << replay_note(seed);
+  }
+}
+
+// Grade-cast band invariant for one sender, across all players'
+// GradeCastResult for that sender:
+//   * honest confidences differ by at most one level;
+//   * if any honest player holds confidence 2, every honest player with
+//     confidence >= 1 holds the same value.
+inline void expect_gradecast_band(
+    const std::vector<GradeCastResult>& per_player,
+    const std::set<int>& charged, std::uint64_t seed, int sender) {
+  int min_conf = 2;
+  int max_conf = 0;
+  const std::vector<std::uint8_t>* committed = nullptr;
+  for (std::size_t i = 0; i < per_player.size(); ++i) {
+    if (charged.count(static_cast<int>(i)) != 0) continue;
+    min_conf = std::min(min_conf, per_player[i].confidence);
+    max_conf = std::max(max_conf, per_player[i].confidence);
+    if (per_player[i].confidence == 2) committed = &per_player[i].value;
+  }
+  EXPECT_LE(max_conf - min_conf, 1)
+      << "grade-cast confidences for sender " << sender
+      << " differ by more than one level; " << replay_note(seed);
+  if (committed == nullptr) return;
+  for (std::size_t i = 0; i < per_player.size(); ++i) {
+    if (charged.count(static_cast<int>(i)) != 0) continue;
+    EXPECT_GE(per_player[i].confidence, 1)
+        << "sender " << sender << ": player " << i
+        << " below confidence 1 while another honest player committed; "
+        << replay_note(seed);
+    if (per_player[i].confidence >= 1) {
+      EXPECT_EQ(per_player[i].value, *committed)
+          << "sender " << sender << ": player " << i
+          << " holds a different value than a confidence-2 player; "
+          << replay_note(seed);
+    }
+  }
+}
+
+}  // namespace dprbg::chaos

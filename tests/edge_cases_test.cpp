@@ -52,7 +52,7 @@ TEST(EdgeCaseTest, VssWithDeadChallengeCoinRejects) {
   const SealedCoin<F> dead{std::nullopt, static_cast<unsigned>(t)};
   Chacha dealer_rng(3, 777);
   const auto poly = Polynomial<F>::random(t, dealer_rng);
-  std::vector<bool> accepted(n, true);
+  std::vector<char> accepted(n, true);
   Cluster cluster(n, t, 3);
   cluster.run(std::vector<Cluster::Program>(n, [&](PartyIo& io) {
     std::optional<Polynomial<F>> mine;
@@ -67,7 +67,7 @@ TEST(EdgeCaseTest, BatchVssWithM0IsVacuous) {
   // Zero secrets: combination is all-zero and trivially degree <= t.
   const int n = 7, t = 2;
   auto coins = trusted_dealer_coins<F>(n, t, 1, 4);
-  std::vector<bool> accepted(n, false);
+  std::vector<char> accepted(n, false);
   Cluster cluster(n, t, 4);
   cluster.run(std::vector<Cluster::Program>(n, [&](PartyIo& io) {
     std::span<const Polynomial<F>> none;

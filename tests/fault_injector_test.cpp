@@ -1,0 +1,210 @@
+// Unit tests for the link-fault injection layer (net/fault.h): each
+// action's delivery semantics, the attribution (charging) contract, the
+// seeded random-plan generator's determinism, and — critically — that a
+// cluster with a null or empty injector is byte-identical to a fault-free
+// cluster.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/cluster.h"
+#include "net/fault.h"
+#include "net/msg.h"
+
+namespace dprbg {
+namespace {
+
+constexpr std::uint32_t kTag = make_tag(ProtoId::kApp, 0, 0);
+
+// Runs `rounds` rounds in which every player sends one byte (id ^ round)
+// to everyone, and records each player's full inbox per round as a
+// printable transcript — the byte-level ground truth for comparisons.
+struct EchoRun {
+  std::vector<std::vector<std::string>> transcript;  // [player][round]
+  CommCounters comm;
+  FaultCounters faults;
+};
+
+std::string render_inbox(const Inbox& inbox) {
+  std::ostringstream os;
+  for (const Msg& m : inbox.all()) {
+    os << m.from << "/" << m.tag << "/";
+    for (std::uint8_t b : m.body) os << static_cast<int>(b) << ".";
+    os << " ";
+  }
+  return os.str();
+}
+
+EchoRun run_echo(int n, int rounds,
+                 std::shared_ptr<const FaultInjector> injector,
+                 std::uint64_t seed = 7) {
+  EchoRun run;
+  run.transcript.assign(n, std::vector<std::string>(rounds));
+  Cluster cluster(n, /*t=*/1, seed);
+  if (injector != nullptr) cluster.set_fault_injector(std::move(injector));
+  cluster.run(std::vector<Cluster::Program>(
+      n, [&](PartyIo& io) {
+        for (int r = 0; r < rounds; ++r) {
+          io.send_all(kTag, {static_cast<std::uint8_t>(io.id() ^ r)});
+          run.transcript[io.id()][r] = render_inbox(io.sync());
+        }
+      }));
+  run.comm = cluster.comm();
+  run.faults = cluster.faults();
+  return run;
+}
+
+TEST(FaultInjectorTest, EmptyInjectorIsByteIdenticalToNoInjector) {
+  const auto bare = run_echo(5, 4, nullptr);
+  const auto empty =
+      run_echo(5, 4, std::make_shared<FaultInjector>(FaultPlan{}));
+  EXPECT_EQ(bare.transcript, empty.transcript);
+  EXPECT_EQ(bare.comm.messages, empty.comm.messages);
+  EXPECT_EQ(bare.comm.bytes, empty.comm.bytes);
+  EXPECT_EQ(bare.comm.rounds, empty.comm.rounds);
+  EXPECT_EQ(empty.faults.total(), 0u);
+}
+
+TEST(FaultInjectorTest, DropSuppressesExactlyTheFaultedLink) {
+  FaultPlan plan;
+  plan.charge(1);
+  plan.add(/*round=*/0, /*from=*/1, /*to=*/0, {FaultAction::kDrop, 1});
+  const auto run =
+      run_echo(4, 2, std::make_shared<FaultInjector>(std::move(plan)));
+  const auto clean = run_echo(4, 2, nullptr);
+  // Player 0 misses 1's round-0 message; everything else is untouched.
+  EXPECT_EQ(run.transcript[0][0], "0/251658240/0. 2/251658240/2. 3/251658240/3. ");
+  EXPECT_EQ(run.transcript[1], clean.transcript[1]);
+  EXPECT_EQ(run.transcript[2], clean.transcript[2]);
+  EXPECT_EQ(run.transcript[0][1], clean.transcript[0][1]);
+  EXPECT_EQ(run.faults.dropped, 1u);
+  // Dropped traffic still traversed the sender's link: comm unchanged.
+  EXPECT_EQ(run.comm.messages, clean.comm.messages);
+}
+
+TEST(FaultInjectorTest, DelayMergesIntoTheTargetRound) {
+  FaultPlan plan;
+  plan.charge(2);
+  plan.add(/*round=*/0, /*from=*/2, /*to=*/0, {FaultAction::kDelay, 2});
+  const auto run =
+      run_echo(4, 4, std::make_shared<FaultInjector>(std::move(plan)));
+  // Round 0: player 0 misses 2's message.
+  EXPECT_EQ(run.transcript[0][0], "0/251658240/0. 1/251658240/1. 3/251658240/3. ");
+  // Round 2: the stale round-0 body (2 ^ 0 = 2) arrives ahead of the
+  // fresh round-2 one (2 ^ 2 = 0) from the same sender and tag.
+  EXPECT_EQ(run.transcript[0][2],
+            "0/251658240/2. 1/251658240/3. 2/251658240/2. 2/251658240/0. "
+            "3/251658240/1. ");
+  EXPECT_EQ(run.faults.delayed, 1u);
+}
+
+TEST(FaultInjectorTest, DuplicateDeliversExtraCopies) {
+  FaultPlan plan;
+  plan.charge(1);
+  plan.add(/*round=*/0, /*from=*/1, /*to=*/2, {FaultAction::kDuplicate, 1});
+  const auto run =
+      run_echo(4, 1, std::make_shared<FaultInjector>(std::move(plan)));
+  EXPECT_EQ(run.transcript[2][0],
+            "0/251658240/0. 1/251658240/1. 1/251658240/1. 2/251658240/2. "
+            "3/251658240/3. ");
+  EXPECT_EQ(run.faults.duplicated, 1u);
+}
+
+TEST(FaultInjectorTest, CorruptionIsDeterministicAndChangesTheBody) {
+  FaultPlan plan;
+  plan.charge(3);
+  plan.add(/*round=*/1, /*from=*/3, /*to=*/1, {FaultAction::kCorrupt, 2});
+  auto injector = std::make_shared<FaultInjector>(std::move(plan));
+  const auto a = run_echo(4, 3, injector);
+  const auto b = run_echo(4, 3, injector);
+  const auto clean = run_echo(4, 3, nullptr);
+  // The corrupted inbox differs from the fault-free one...
+  EXPECT_NE(a.transcript[1][1], clean.transcript[1][1]);
+  // ...identically on every replay.
+  EXPECT_EQ(a.transcript, b.transcript);
+  EXPECT_EQ(a.faults.corrupted, 1u);
+  // Other rounds and receivers are untouched.
+  EXPECT_EQ(a.transcript[1][0], clean.transcript[1][0]);
+  EXPECT_EQ(a.transcript[2], clean.transcript[2]);
+}
+
+TEST(FaultInjectorTest, PartitionSuppressesAllCrossTraffic) {
+  const int n = 5;
+  FaultPlan plan;
+  plan.charge(4);
+  plan.isolate(/*first_round=*/0, /*last_round=*/1, /*player=*/4, n);
+  const auto run =
+      run_echo(n, 3, std::make_shared<FaultInjector>(std::move(plan)));
+  // During the window, 4 hears only itself and nobody hears 4.
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_EQ(run.transcript[4][r],
+              "4/251658240/" + std::to_string(4 ^ r) + ". ");
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(run.transcript[i][r].find("4/251658240"), std::string::npos)
+          << "player " << i << " round " << r;
+    }
+  }
+  // After the window the island rejoins.
+  EXPECT_NE(run.transcript[0][2].find("4/251658240"), std::string::npos);
+  // 2 windows x (n-1) outgoing + (n-1) incoming drops.
+  EXPECT_EQ(run.faults.dropped, 2u * 2u * (n - 1));
+}
+
+TEST(FaultInjectorTest, AddRequiresAChargedEndpoint) {
+  FaultPlan plan;
+  plan.charge(2);
+  EXPECT_DEATH(plan.add(0, 0, 1, {FaultAction::kDrop, 1}), "DPRBG_CHECK");
+  EXPECT_DEATH(plan.add(0, 2, 2, {FaultAction::kDrop, 1}), "DPRBG_CHECK");
+  plan.add(0, 2, 1, {FaultAction::kDrop, 1});  // adjacent to charged: fine
+  plan.add(0, 1, 2, {FaultAction::kDrop, 1});
+  EXPECT_EQ(plan.size(), 2u);
+}
+
+TEST(FaultInjectorTest, RandomPlanIsAttributableAndReplayable) {
+  FaultPlanParams params;
+  params.n = 9;
+  params.t = 2;
+  params.rounds = 24;
+  params.fault_rate = 0.2;
+  params.never_charge = {0, 3};
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    const FaultPlan a = random_fault_plan(params, seed);
+    const FaultPlan b = random_fault_plan(params, seed);
+    EXPECT_TRUE(a.attributable(params.t)) << "seed " << seed;
+    EXPECT_EQ(a.charged().count(0), 0u) << "seed " << seed;
+    EXPECT_EQ(a.charged().count(3), 0u) << "seed " << seed;
+    EXPECT_EQ(a.charged(), b.charged()) << "seed " << seed;
+    EXPECT_EQ(a.size(), b.size()) << "seed " << seed;
+    EXPECT_EQ(a.horizon(), b.horizon()) << "seed " << seed;
+    EXPECT_LT(a.horizon(), params.rounds) << "seed " << seed;
+  }
+  // Distinct seeds produce distinct plans (with overwhelming probability).
+  const FaultPlan p1 = random_fault_plan(params, 100);
+  const FaultPlan p2 = random_fault_plan(params, 101);
+  EXPECT_TRUE(p1.charged() != p2.charged() || p1.size() != p2.size());
+}
+
+TEST(FaultInjectorTest, FaultedExecutionReplaysBitForBit) {
+  FaultPlanParams params;
+  params.n = 5;
+  params.t = 1;
+  params.rounds = 6;
+  params.fault_rate = 0.3;
+  const FaultPlan plan = random_fault_plan(params, 42);
+  auto injector = std::make_shared<FaultInjector>(plan);
+  const auto a = run_echo(5, 6, injector);
+  const auto b = run_echo(5, 6, injector);
+  EXPECT_EQ(a.transcript, b.transcript);
+  EXPECT_EQ(a.faults.dropped, b.faults.dropped);
+  EXPECT_EQ(a.faults.delayed, b.faults.delayed);
+  EXPECT_EQ(a.faults.duplicated, b.faults.duplicated);
+  EXPECT_EQ(a.faults.corrupted, b.faults.corrupted);
+}
+
+}  // namespace
+}  // namespace dprbg

@@ -36,7 +36,7 @@ TYPED_TEST(FieldGenericTest, VssRoundTrip) {
   auto coins = trusted_dealer_coins<F>(n, t, 1, 1);
   Chacha dealer_rng(1, 777);
   const auto poly = Polynomial<F>::random(t, dealer_rng);
-  std::vector<bool> accepted(n, false);
+  std::vector<char> accepted(n, false);
   Cluster cluster(n, t, 1);
   cluster.run(std::vector<Cluster::Program>(n, [&](PartyIo& io) {
     std::optional<Polynomial<F>> mine;
@@ -77,7 +77,7 @@ TYPED_TEST(FieldGenericTest, BatchVssCatchesBadPolynomial) {
     polys.push_back(Polynomial<F>::random(t, dealer_rng));
   }
   polys[5] = Polynomial<F>::random(t + 2, dealer_rng);
-  std::vector<bool> accepted(n, true);
+  std::vector<char> accepted(n, true);
   Cluster cluster(n, t, 3);
   cluster.run(std::vector<Cluster::Program>(n, [&](PartyIo& io) {
     std::span<const Polynomial<F>> mine;
@@ -155,7 +155,7 @@ TEST_P(VssSweep, HonestAcceptCheaterReject) {
     Chacha dealer_rng(8000 + seed + cheat, 777);
     const auto poly =
         Polynomial<F>::random(cheat ? t + 1 + seed % 3 : t, dealer_rng);
-    std::vector<bool> accepted(n, false);
+    std::vector<char> accepted(n, false);
     Cluster cluster(n, t, 8000 + seed + cheat);
     cluster.run(std::vector<Cluster::Program>(n, [&](PartyIo& io) {
       std::optional<Polynomial<F>> mine;

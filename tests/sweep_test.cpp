@@ -43,7 +43,7 @@ TEST_P(BatchVssGrid, AcceptsGoodRejectsBad) {
   }
   const bool bad_is_real =
       bad_pos >= 0 && polys[bad_pos % m].degree() > t;
-  std::vector<bool> accepted(n, false);
+  std::vector<char> accepted(n, false);
   Cluster cluster(n, t, seed);
   cluster.run(std::vector<Cluster::Program>(n, [&](PartyIo& io) {
     std::span<const Polynomial<F>> mine;
@@ -86,7 +86,7 @@ TEST_P(BitGenGrid, EveryDealerPositionWorks) {
     for (int j = 0; j < m; ++j) {
       polys.push_back(Polynomial<F>::random(t, dealer_rng));
     }
-    std::vector<bool> accepted(n, false);
+    std::vector<char> accepted(n, false);
     Cluster cluster(n, t, seed);
     cluster.run(std::vector<Cluster::Program>(n, [&](PartyIo& io) {
       std::span<const Polynomial<F>> mine;
