@@ -28,6 +28,7 @@ using bench::fmt;
 struct Row {
   FieldCounters ops;  // representative player
   CommCounters comm;
+  FaultCounters faults;  // all-zero unless a FaultInjector is attached
   double wall_ms = 0;
   std::size_t clique = 0;
   unsigned iterations = 0;
@@ -54,15 +55,17 @@ Row measure(int n, int t, unsigned m, std::uint64_t seed) {
       std::chrono::duration<double, std::milli>(stop - start).count();
   row.comm = cluster.comm();
   row.ops = cluster.per_player_field_ops()[1];
+  row.faults = cluster.faults();
   return row;
 }
 
 }  // namespace
 }  // namespace dprbg
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dprbg;
   using namespace dprbg::bench;
+  parse_args(argc, argv);
   print_header(
       "E7+E9: Coin-Gen — M sealed coins per run (Fig. 5)",
       "clique >= 4t+1 agreed by all (Lemma 7); amortized per binary coin: "
@@ -70,10 +73,12 @@ int main() {
 
   for (int n : {7, 13, 19}) {
     const int t = (n - 1) / 6;
-    std::printf("n=%d t=%d, k=64\n", n, t);
+    if (!json_mode()) std::printf("n=%d t=%d, k=64\n", n, t);
     Table table({"M", "ok", "clique", ">=4t+1", "iters", "interp/player",
-                 "bytes", "bytes/bit", "pred bytes/bit", "msgs",
+                 "bytes", "bytes/bit", "pred bytes/bit", "msgs", "faults",
                  "ms"});
+    table.context("n", fmt(n));
+    table.context("t", fmt(t));
     for (unsigned m : {1u, 8u, 64u, 256u, 1024u}) {
       const auto row = measure(n, t, m, 9000 + m * 31 + n);
       const double bits = double(m) * F::kBits;
@@ -92,14 +97,17 @@ int main() {
                                                                    : "NO",
                  fmt(row.iterations), fmt(row.ops.interpolations),
                  fmt(row.comm.bytes), fmt(double(row.comm.bytes) / bits),
-                 fmt(predicted), fmt(row.comm.messages), fmt(row.wall_ms)});
+                 fmt(predicted), fmt(row.comm.messages),
+                 fmt(row.faults.total()), fmt(row.wall_ms)});
     }
     table.print();
-    std::printf("\n");
+    if (!json_mode()) std::printf("\n");
   }
+  if (json_mode()) return 0;
   std::printf(
       "shape check: bytes/bit decays ~1/M toward the per-coin floor while "
       "the clique stays >= 4t+1 and BA converges in one iteration when "
-      "leaders are honest.\n");
+      "leaders are honest. The faults column totals Cluster::faults() and "
+      "must be 0 here: no injector is attached.\n");
   return 0;
 }

@@ -29,6 +29,7 @@ using bench::fmt;
 
 struct Measured {
   CommCounters comm;
+  FaultCounters faults;  // all-zero unless a FaultInjector is attached
   int coins = 1;
 };
 
@@ -45,7 +46,7 @@ Measured measure_coingen(int n, int t, unsigned m, std::uint64_t seed) {
       (void)coin_expose<F>(io, sealed[h], 100 + h);
     }
   }));
-  return {cluster.comm(), static_cast<int>(m)};
+  return {cluster.comm(), cluster.faults(), static_cast<int>(m)};
 }
 
 Measured measure_naive(int n, int t, int coins, std::uint64_t seed) {
@@ -55,15 +56,16 @@ Measured measure_naive(int n, int t, int coins, std::uint64_t seed) {
       (void)naive_coin<F>(io, t, static_cast<unsigned>(c));
     }
   }));
-  return {cluster.comm(), coins};
+  return {cluster.comm(), cluster.faults(), coins};
 }
 
 }  // namespace
 }  // namespace dprbg
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dprbg;
   using namespace dprbg::bench;
+  parse_args(argc, argv);
   print_header(
       "E15 (supplementary): projected per-coin wall-clock latency",
       "rounds dominate deployed latency; Coin-Gen's rounds are constant "
@@ -73,7 +75,9 @@ int main() {
   const std::vector<LatencyModel> models = {lan_model(), wan_model(),
                                             global_model()};
   Table table({"method", "coins/run", "rounds/coin", "LAN ms/coin",
-               "WAN ms/coin", "global ms/coin"});
+               "WAN ms/coin", "global ms/coin", "faults"});
+  table.context("n", fmt(n));
+  table.context("t", fmt(t));
   for (unsigned m : {1u, 16u, 256u}) {
     const auto r = measure_coingen(n, t, m, 500 + m);
     std::vector<std::string> row = {
@@ -82,6 +86,7 @@ int main() {
     for (const auto& model : models) {
       row.push_back(fmt(estimate_wall_ms(r.comm, n, model) / r.coins));
     }
+    row.push_back(fmt(r.faults.total()));
     table.row(row);
   }
   {
@@ -91,9 +96,11 @@ int main() {
     for (const auto& model : models) {
       row.push_back(fmt(estimate_wall_ms(r.comm, n, model) / r.coins));
     }
+    row.push_back(fmt(r.faults.total()));
     table.row(row);
   }
   table.print();
+  if (json_mode()) return 0;
   std::printf(
       "\nshape check: at M=256 the per-coin cost approaches the single "
       "exposure round (~1): 12x below generating coins one at a time "

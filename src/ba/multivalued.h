@@ -29,6 +29,7 @@
 
 #include "ba/binary_ba.h"
 #include "common/check.h"
+#include "common/trace.h"
 #include "net/cluster.h"
 #include "net/msg.h"
 
@@ -47,6 +48,7 @@ inline MultivaluedResult multivalued_ba(
   const int n = io.n();
   const int t = io.t();
   DPRBG_CHECK(n > 3 * t);
+  TraceSpan span(io, "multivalued-ba", "run");
   const std::uint32_t r1 = make_tag(ProtoId::kRandomizedBa, instance, 40);
   const std::uint32_t r2 = make_tag(ProtoId::kRandomizedBa, instance, 41);
 

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/trace.h"
 #include "net/cluster.h"
 #include "net/msg.h"
 
@@ -34,6 +35,7 @@ inline int phase_king_ba(PartyIo& io, int input, unsigned instance = 0) {
   const int t = io.t();
   DPRBG_CHECK(n > 4 * t);
   int value = input != 0 ? 1 : 0;
+  TraceSpan span(io, "phase-king", "run");
 
   for (int phase = 0; phase <= t; ++phase) {
     const int king = phase % n;

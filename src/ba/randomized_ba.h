@@ -32,6 +32,7 @@
 #include <optional>
 
 #include "common/check.h"
+#include "common/trace.h"
 #include "gf/field_concept.h"
 #include "net/cluster.h"
 #include "net/msg.h"
@@ -59,6 +60,7 @@ inline RandomizedBaResult randomized_ba(PartyIo& io, int input,
   DPRBG_CHECK(n >= 5 * t + 1);
   int value = input != 0 ? 1 : 0;
   RandomizedBaResult result;
+  TraceSpan span(io, "randomized-ba", "run");
 
   for (unsigned phase = 0; phase < max_phases; ++phase) {
     const std::uint32_t vote_tag =

@@ -34,8 +34,10 @@
 #include <map>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "common/trace.h"
 #include "gf/field_concept.h"
 #include "gf/field_io.h"
 #include "net/cluster.h"
@@ -129,17 +131,22 @@ BitGenView<F> bit_gen_single(PartyIo& io, int dealer, unsigned m_total,
   const int n = io.n();
 
   // Dealer step 1: distribute rows.
-  if (io.id() == dealer) {
-    DPRBG_CHECK(dealer_polys.size() == m_total);
-    for (int i = 0; i < n; ++i) {
-      ByteWriter w;
-      for (const auto& f : dealer_polys) write_elem(w, f(eval_point<F>(i)));
-      io.send(i, row_tag, std::move(w).take());
+  {
+    TraceSpan deal(io, "bitgen", "deal");
+    if (io.id() == dealer) {
+      DPRBG_CHECK(dealer_polys.size() == m_total);
+      for (int i = 0; i < n; ++i) {
+        ByteWriter w;
+        for (const auto& f : dealer_polys) write_elem(w, f(eval_point<F>(i)));
+        io.send(i, row_tag, std::move(w).take());
+      }
     }
   }
 
   // Step 2: expose the challenge (same round as row delivery).
+  TraceSpan challenge(io, "bitgen", "challenge");
   const std::optional<F> r_val = coin_expose<F>(io, challenge_coin, instance);
+  challenge.close();
 
   BitGenView<F> view;
   if (const Msg* mine = io.inbox().from(dealer, row_tag)) {
@@ -153,20 +160,27 @@ BitGenView<F> bit_gen_single(PartyIo& io, int dealer, unsigned m_total,
   }
 
   // Step 3: send the Horner combination to all players.
+  TraceSpan combine(io, "bitgen", "combine");
   if (!view.my_row.empty()) {
     ByteWriter w;
     write_elem(w, batch_combine<F>(view.my_row, *r_val));
     io.send_all(combo_tag, w.data());
   }
   const Inbox& in = io.sync();
+  combine.close();
 
   // Steps 4-5: collect S and decode.
+  TraceSpan decode(io, "bitgen", "decode");
   for (const Msg* m : in.with_tag(combo_tag)) {
     const auto beta = decode_elem_row<F>(m->body, 1);
     if (!beta) continue;
     view.combos.emplace(m->from, (*beta)[0]);
   }
   view.poly = bitgen_detail::decode_combination<F>(view.combos, n, t);
+  if (!view.poly && tracer().enabled()) {
+    trace_point("bitgen", "decode-fail", io.id(), io.rounds(),
+                "dealer=" + std::to_string(dealer));
+  }
   return view;
 }
 
@@ -194,15 +208,20 @@ BitGenAllOutcome<F> bit_gen_all(PartyIo& io,
   DPRBG_CHECK(my_polys.size() == m_total);
 
   // Everyone deals (step 1 of its own instance).
-  for (int i = 0; i < n; ++i) {
-    ByteWriter w;
-    for (const auto& f : my_polys) write_elem(w, f(eval_point<F>(i)));
-    io.send(i, row_tag, std::move(w).take());
+  {
+    TraceSpan deal(io, "bitgen", "deal");
+    for (int i = 0; i < n; ++i) {
+      ByteWriter w;
+      for (const auto& f : my_polys) write_elem(w, f(eval_point<F>(i)));
+      io.send(i, row_tag, std::move(w).take());
+    }
   }
 
   BitGenAllOutcome<F> out;
   out.views.resize(n);
+  TraceSpan challenge(io, "bitgen", "challenge");
   const std::optional<F> r_val = coin_expose<F>(io, challenge_coin, instance);
+  challenge.close();
   for (int dealer = 0; dealer < n; ++dealer) {
     if (const Msg* m = io.inbox().from(dealer, row_tag)) {
       if (auto row = decode_elem_row<F>(m->body, m_total)) {
@@ -217,6 +236,7 @@ BitGenAllOutcome<F> bit_gen_all(PartyIo& io,
   out.challenge = r_val;
 
   // Batched combination message: one presence flag + beta per dealer.
+  TraceSpan combine(io, "bitgen", "combine");
   {
     ByteWriter w;
     for (int dealer = 0; dealer < n; ++dealer) {
@@ -228,7 +248,9 @@ BitGenAllOutcome<F> bit_gen_all(PartyIo& io,
     io.send_all(combo_tag, w.data());
   }
   const Inbox& in = io.sync();
+  combine.close();
 
+  TraceSpan decode(io, "bitgen", "decode");
   for (const Msg* m : in.with_tag(combo_tag)) {
     const auto batch = bitgen_detail::decode_combo_batch<F>(m->body, n);
     if (!batch) continue;  // malformed: drop the sender from every instance
@@ -241,6 +263,10 @@ BitGenAllOutcome<F> bit_gen_all(PartyIo& io,
   for (int dealer = 0; dealer < n; ++dealer) {
     out.views[dealer].poly = bitgen_detail::decode_combination<F>(
         out.views[dealer].combos, n, t);
+    if (!out.views[dealer].poly && tracer().enabled()) {
+      trace_point("bitgen", "decode-fail", io.id(), io.rounds(),
+                  "dealer=" + std::to_string(dealer));
+    }
   }
   return out;
 }

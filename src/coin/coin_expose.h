@@ -20,8 +20,10 @@
 #pragma once
 
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "common/trace.h"
 #include "gf/field_concept.h"
 #include "gf/field_io.h"
 #include "net/cluster.h"
@@ -40,6 +42,9 @@ namespace dprbg {
 template <FiniteField F>
 std::optional<F> coin_expose(PartyIo& io, const SealedCoin<F>& coin,
                              unsigned instance = 0) {
+  TraceSpan span(io, "coin-expose", "expose",
+                 tracer().enabled() ? "instance=" + std::to_string(instance)
+                                    : std::string{});
   const std::uint32_t tag = make_tag(ProtoId::kCoinExpose, instance, 0);
   if (coin.share.has_value()) {
     ByteWriter w;
@@ -56,14 +61,22 @@ std::optional<F> coin_expose(PartyIo& io, const SealedCoin<F>& coin,
     if (!share) continue;
     points.push_back({eval_point<F>(m->from), (*share)[0]});
   }
-  if (points.size() < coin.degree + 1) return std::nullopt;
+  if (points.size() < coin.degree + 1) {
+    trace_point("coin-expose", "decode-fail", io.id(), io.rounds(),
+                "too few shares");
+    return std::nullopt;
+  }
   // Tolerate up to t lies, but never more than the distance allows.
   const unsigned by_distance = static_cast<unsigned>(
       (points.size() - coin.degree - 1) / 2);
   const unsigned max_errors =
       std::min(static_cast<unsigned>(io.t()), by_distance);
   const auto poly = berlekamp_welch<F>(points, coin.degree, max_errors);
-  if (!poly) return std::nullopt;
+  if (!poly) {
+    trace_point("coin-expose", "decode-fail", io.id(), io.rounds(),
+                "berlekamp-welch failed");
+    return std::nullopt;
+  }
   return (*poly)(F::zero());
 }
 

@@ -38,9 +38,11 @@
 #include <algorithm>
 #include <map>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "ba/binary_ba.h"
+#include "common/trace.h"
 #include "gf/field_concept.h"
 #include "gf/field_io.h"
 #include "gradecast/gradecast.h"
@@ -170,6 +172,7 @@ CoinGenResult<F> coin_gen(PartyIo& io, unsigned m, CoinPool<F>& pool,
   if (pool.empty()) return result;
   const SealedCoin<F> challenge = pool.take();
   ++result.seed_coins_used;
+  TraceSpan deal_span(io, "coin-gen", "deal");
   std::vector<Polynomial<F>> my_polys;
   my_polys.reserve(m_total);
   for (unsigned j = 0; j < m_total; ++j) {
@@ -177,11 +180,13 @@ CoinGenResult<F> coin_gen(PartyIo& io, unsigned m, CoinPool<F>& pool,
   }
   auto bg = bit_gen_all<F>(io, my_polys, m_total, t, challenge,
                            /*instance=*/0);
+  deal_span.close();
 
   // Steps 4-5: the mutual-verification graph. Directed edge j -> k when
   // instance j decoded and k's combination share fits; G keeps mutual
   // edges. Every honest pair is connected: both decode (>= n - t honest
   // combos agree) and both sent fitting shares.
+  TraceSpan graph_span(io, "coin-gen", "graph");
   Graph g(n);
   for (int j = 0; j < n; ++j) {
     const auto& vj = bg.views[j];
@@ -195,18 +200,29 @@ CoinGenResult<F> coin_gen(PartyIo& io, unsigned m, CoinPool<F>& pool,
                       (*vj.poly)(eval_point<F>(k)) == j_has_k->second;
       const bool kj = k_has_j != vk.combos.end() &&
                       (*vk.poly)(eval_point<F>(j)) == k_has_j->second;
-      if (jk && kj) g.add_edge(j, k);
+      if (jk && kj) {
+        g.add_edge(j, k);
+        if (tracer().enabled()) {
+          trace_point("coin-gen", "edge", io.id(), io.rounds(),
+                      "j=" + std::to_string(j) + " k=" + std::to_string(k));
+        }
+      }
     }
   }
+  graph_span.close();
 
   // Step 6: clique of size >= n - 2t. (find_large_clique guarantees that
   // bound only when the complement's cover is <= t; with more faults the
   // found clique may be smaller — condition (ii) below catches it.)
+  TraceSpan clique_span(io, "coin-gen", "clique");
   const std::vector<int> my_clique = find_large_clique(g);
+  clique_span.close();
 
   // Steps 7-8: grade-cast cliques + combined polynomials.
+  TraceSpan gc_span(io, "coin-gen", "gradecast");
   const auto gc = grade_cast_all(
       io, coin_gen_detail::encode_clique_msg<F>(my_clique, bg.views, t));
+  gc_span.close();
 
   // Steps 9-11: leader selection + BA, repeated until BA decides 1.
   const unsigned clique_min = static_cast<unsigned>(n) - 2 * t;
@@ -215,8 +231,13 @@ CoinGenResult<F> coin_gen(PartyIo& io, unsigned m, CoinPool<F>& pool,
     const SealedCoin<F> leader_coin = pool.take();
     ++result.seed_coins_used;
     ++result.iterations;
+    TraceSpan leader_span(io, "coin-gen", "leader",
+                          tracer().enabled()
+                              ? "iter=" + std::to_string(iter)
+                              : std::string{});
     const std::optional<F> leader_val =
         coin_expose<F>(io, leader_coin, /*instance=*/1 + iter);
+    leader_span.close();
     // A failed exposure cannot happen within the fault bounds; treat it
     // as a faulty leader (everyone votes 0 — still unanimous).
     const int l = leader_val.has_value()
@@ -250,7 +271,11 @@ CoinGenResult<F> coin_gen(PartyIo& io, unsigned m, CoinPool<F>& pool,
       if (good >= 3 * t + 1) my_vote = 1;
     }
 
+    TraceSpan ba_span(io, "coin-gen", "ba",
+                      tracer().enabled() ? "iter=" + std::to_string(iter)
+                                         : std::string{});
     const int decision = ba(io, my_vote, /*instance=*/iter);
+    ba_span.close();
     if (decision != 1) continue;
 
     // Agreement reached on C_l. If an honest player voted 1, conf_l = 2
@@ -260,6 +285,7 @@ CoinGenResult<F> coin_gen(PartyIo& io, unsigned m, CoinPool<F>& pool,
       // identically everywhere we can.
       return result;
     }
+    TraceSpan output_span(io, "coin-gen", "output");
     result.success = true;
     result.clique = msg->clique;
     result.summed_dealers.assign(

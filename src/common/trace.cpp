@@ -1,0 +1,334 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace dprbg {
+
+Tracer& tracer() noexcept {
+  static Tracer t;
+  return t;
+}
+
+void Tracer::record(TraceEvent ev) {
+  if (!enabled()) return;
+  ev.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard g(mu_);
+  events_.push_back(std::move(ev));
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard g(mu_);
+  auto out = events_;
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard g(mu_);
+  return events_.size();
+}
+
+void Tracer::clear() {
+  std::lock_guard g(mu_);
+  events_.clear();
+  seq_.store(0, std::memory_order_relaxed);
+}
+
+void Tracer::write_jsonl(std::ostream& os) const {
+  for (const auto& ev : events()) os << to_jsonl(ev) << '\n';
+}
+
+bool Tracer::write_jsonl_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_jsonl(os);
+  return static_cast<bool>(os);
+}
+
+void trace_point(std::string_view protocol, std::string_view phase,
+                 int player, std::uint64_t round, std::string detail) {
+  Tracer& t = tracer();
+  if (!t.enabled()) return;
+  TraceEvent ev;
+  ev.kind = TraceEventKind::kPoint;
+  ev.protocol.assign(protocol);
+  ev.phase.assign(phase);
+  ev.player = player;
+  ev.round_begin = ev.round_end = round;
+  ev.detail = std::move(detail);
+  t.record(std::move(ev));
+}
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_kv(std::string& out, std::string_view key, std::uint64_t v) {
+  out += '"';
+  out += key;
+  out += "\":";
+  out += std::to_string(v);
+  out += ',';
+}
+
+}  // namespace
+
+std::string to_jsonl(const TraceEvent& ev) {
+  std::string out;
+  out.reserve(256);
+  out += '{';
+  append_kv(out, "seq", ev.seq);
+  out += "\"kind\":\"";
+  out += ev.kind == TraceEventKind::kSpan ? "span" : "point";
+  out += "\",\"proto\":\"";
+  append_escaped(out, ev.protocol);
+  out += "\",\"phase\":\"";
+  append_escaped(out, ev.phase);
+  out += "\",\"player\":";
+  out += std::to_string(ev.player);
+  out += ',';
+  append_kv(out, "r0", ev.round_begin);
+  append_kv(out, "r1", ev.round_end);
+  append_kv(out, "adds", ev.ops.adds);
+  append_kv(out, "muls", ev.ops.muls);
+  append_kv(out, "invs", ev.ops.invs);
+  append_kv(out, "interps", ev.ops.interpolations);
+  append_kv(out, "msgs", ev.comm.messages);
+  append_kv(out, "bytes", ev.comm.bytes);
+  append_kv(out, "dropped", ev.faults.dropped);
+  append_kv(out, "delayed", ev.faults.delayed);
+  append_kv(out, "duplicated", ev.faults.duplicated);
+  append_kv(out, "corrupted", ev.faults.corrupted);
+  out += "\"detail\":\"";
+  append_escaped(out, ev.detail);
+  out += "\"}";
+  return out;
+}
+
+namespace {
+
+// Minimal scanner for the flat JSON objects emitted above: string and
+// unsigned-integer values only, no nesting. Tolerates unknown keys and
+// arbitrary key order so the schema can grow.
+class FlatJsonScanner {
+ public:
+  explicit FlatJsonScanner(std::string_view s) : s_(s) {}
+
+  // Calls on_field(key, string_value, numeric_value, is_string) per pair.
+  template <typename Fn>
+  bool scan(Fn&& on_field) {
+    skip_ws();
+    if (!eat('{')) return false;
+    skip_ws();
+    if (eat('}')) return true;
+    while (true) {
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!eat(':')) return false;
+      skip_ws();
+      if (pos_ < s_.size() && s_[pos_] == '"') {
+        std::string value;
+        if (!parse_string(value)) return false;
+        on_field(key, value, std::uint64_t{0}, true);
+      } else {
+        std::uint64_t value = 0;
+        bool negative = eat('-');  // player may be -1
+        const char* begin = s_.data() + pos_;
+        const char* end = s_.data() + s_.size();
+        auto [ptr, ec] = std::from_chars(begin, end, value);
+        if (ec != std::errc() || ptr == begin) return false;
+        pos_ += static_cast<std::size_t>(ptr - begin);
+        if (negative) value = static_cast<std::uint64_t>(-static_cast<std::int64_t>(value));
+        on_field(key, std::string{}, value, false);
+      }
+      skip_ws();
+      if (eat('}')) return true;
+      if (!eat(',')) return false;
+      skip_ws();
+    }
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool eat(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool parse_string(std::string& out) {
+    if (!eat('"')) return false;
+    out.clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) return false;
+      const char esc = s_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return false;
+          unsigned code = 0;
+          auto [ptr, ec] = std::from_chars(s_.data() + pos_,
+                                           s_.data() + pos_ + 4, code, 16);
+          if (ec != std::errc() || ptr != s_.data() + pos_ + 4) return false;
+          pos_ += 4;
+          out += static_cast<char>(code & 0xFF);
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool from_jsonl(std::string_view line, TraceEvent& ev) {
+  ev = TraceEvent{};
+  FlatJsonScanner scanner(line);
+  bool kind_ok = true;
+  const bool ok = scanner.scan([&](const std::string& key,
+                                   const std::string& sval,
+                                   std::uint64_t nval, bool is_string) {
+    if (key == "seq") ev.seq = nval;
+    else if (key == "kind") {
+      if (sval == "span") ev.kind = TraceEventKind::kSpan;
+      else if (sval == "point") ev.kind = TraceEventKind::kPoint;
+      else kind_ok = false;
+    } else if (key == "proto") ev.protocol = sval;
+    else if (key == "phase") ev.phase = sval;
+    else if (key == "player") ev.player = static_cast<int>(static_cast<std::int64_t>(nval));
+    else if (key == "r0") ev.round_begin = nval;
+    else if (key == "r1") ev.round_end = nval;
+    else if (key == "adds") ev.ops.adds = nval;
+    else if (key == "muls") ev.ops.muls = nval;
+    else if (key == "invs") ev.ops.invs = nval;
+    else if (key == "interps") ev.ops.interpolations = nval;
+    else if (key == "msgs") ev.comm.messages = nval;
+    else if (key == "bytes") ev.comm.bytes = nval;
+    else if (key == "dropped") ev.faults.dropped = nval;
+    else if (key == "delayed") ev.faults.delayed = nval;
+    else if (key == "duplicated") ev.faults.duplicated = nval;
+    else if (key == "corrupted") ev.faults.corrupted = nval;
+    else if (key == "detail") ev.detail = sval;
+    // unknown keys: ignored (forward compatibility)
+    (void)is_string;
+  });
+  return ok && kind_ok;
+}
+
+std::vector<TraceEvent> read_jsonl(std::istream& is, std::size_t* malformed) {
+  std::vector<TraceEvent> out;
+  std::size_t bad = 0;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    TraceEvent ev;
+    if (from_jsonl(line, ev)) {
+      out.push_back(std::move(ev));
+    } else {
+      ++bad;
+    }
+  }
+  if (malformed != nullptr) *malformed = bad;
+  return out;
+}
+
+std::vector<PhaseCost> aggregate_phases(
+    const std::vector<TraceEvent>& events) {
+  std::vector<PhaseCost> out;
+  std::map<std::pair<std::string, std::string>, std::size_t> index;
+  // Per (phase index, player): summed rounds, for the max-over-players
+  // lockstep measure.
+  std::vector<std::map<int, std::uint64_t>> per_player_rounds;
+  for (const auto& ev : events) {
+    if (ev.kind != TraceEventKind::kSpan) continue;
+    const auto key = std::make_pair(ev.protocol, ev.phase);
+    auto it = index.find(key);
+    if (it == index.end()) {
+      it = index.emplace(key, out.size()).first;
+      out.push_back(PhaseCost{ev.protocol, ev.phase, 0, 0, 0, {}, {}});
+      per_player_rounds.emplace_back();
+    }
+    PhaseCost& cost = out[it->second];
+    ++cost.spans;
+    cost.ops += ev.ops;
+    cost.comm += ev.comm;
+    per_player_rounds[it->second][ev.player] += ev.rounds();
+  }
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i].players = per_player_rounds[i].size();
+    for (const auto& [player, rounds] : per_player_rounds[i]) {
+      out[i].rounds = std::max(out[i].rounds, rounds);
+    }
+  }
+  return out;
+}
+
+FaultCounters sum_fault_events(const std::vector<TraceEvent>& events) {
+  FaultCounters total;
+  for (const auto& ev : events) {
+    if (ev.kind == TraceEventKind::kPoint && ev.protocol == "net" &&
+        ev.phase == "fault") {
+      total += ev.faults;
+    }
+  }
+  return total;
+}
+
+}  // namespace dprbg

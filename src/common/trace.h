@@ -1,0 +1,184 @@
+// Structured protocol tracing: per-phase spans and point events.
+//
+// The paper's results are *cost* claims — Lemmas 2/4/6/8 charge additions,
+// interpolations, messages, and rounds to specific protocol phases — but
+// the aggregate counters in common/metrics.h only show end-to-end totals.
+// This module records where the costs land: every protocol wraps its
+// paper-figure phases (deal / challenge / respond / interpolate / expose /
+// clique / ...) in a `TraceSpan`, and the network layer emits point events
+// for round advances, sends, and injected link faults. The result is a
+// per-phase, per-player, per-round ledger that `tools/trace_report`
+// aggregates into Lemma-style cost tables and that
+// `tests/trace_budget_test.cpp` gates against checked-in budgets.
+//
+// Enable/disable contract: the global `tracer()` is OFF by default and
+// every hook is behind a single relaxed atomic load, so a disabled tracer
+// adds one predictable branch per span/event site and allocates nothing —
+// golden transcripts, byte counts, and bench numbers are unchanged
+// (tests/trace_test.cpp locks this in). Recording is mutex-serialized;
+// spans opened on different player threads interleave by a global
+// sequence number.
+//
+// Layering: this header sits in common/ (below net/), so `TraceSpan` is a
+// template over any io-like object exposing id()/rounds()/sent() — in
+// practice net::PartyIo. Field-op deltas come from the calling thread's
+// `field_counters()` (per-player in the cluster's thread-per-player
+// model); comm deltas from the io object's sent() counters.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace dprbg {
+
+enum class TraceEventKind : std::uint8_t {
+  kSpan,   // a closed TraceSpan: [round_begin, round_end) + cost deltas
+  kPoint,  // an instantaneous event (fault fired, decode failure, edge)
+};
+
+// One trace record. Flat on purpose: every record serializes to one JSONL
+// line with fixed keys, so external tools can aggregate with zero schema
+// knowledge.
+struct TraceEvent {
+  std::uint64_t seq = 0;  // global order of record completion
+  TraceEventKind kind = TraceEventKind::kPoint;
+  std::string protocol;  // "vss", "bitgen", "coin-gen", "net", ...
+  std::string phase;     // "deal", "challenge", "round", "fault", ...
+  int player = -1;       // -1: cluster-level (exchange thread)
+  std::uint64_t round_begin = 0;  // spans: rounds() at open
+  std::uint64_t round_end = 0;    // spans: rounds() at close; points: ==begin
+  FieldCounters ops;      // span delta of the player thread's field ops
+  CommCounters comm;      // span delta of the player's sent() counters
+  FaultCounters faults;   // fault events: per-message effect delta
+  std::string detail;     // freeform "k=v k=v" payload (tag, peer, ...)
+
+  [[nodiscard]] std::uint64_t rounds() const noexcept {
+    return round_end - round_begin;
+  }
+};
+
+// Global, thread-safe event recorder.
+class Tracer {
+ public:
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  // Appends `ev` (stamping ev.seq) if enabled; drops it otherwise.
+  void record(TraceEvent ev);
+
+  // Snapshot of everything recorded so far, in seq order.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+  // JSONL: one event per line, flat string/integer fields.
+  void write_jsonl(std::ostream& os) const;
+  bool write_jsonl_file(const std::string& path) const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> seq_{0};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+// The process-wide tracer used by every instrumentation site.
+Tracer& tracer() noexcept;
+
+// Serialization of a single event (used by write_jsonl; exposed for
+// tests).
+std::string to_jsonl(const TraceEvent& ev);
+// Parses one JSONL line; returns false on malformed input. Unknown keys
+// are ignored so the schema can grow.
+bool from_jsonl(std::string_view line, TraceEvent& ev);
+// Parses a whole JSONL stream, skipping blank lines; malformed lines are
+// counted in `*malformed` (if non-null) and dropped.
+std::vector<TraceEvent> read_jsonl(std::istream& is,
+                                   std::size_t* malformed = nullptr);
+
+// Records a point event (no-op when disabled). `detail` is copied only
+// when enabled, so call sites may build it lazily behind enabled().
+void trace_point(std::string_view protocol, std::string_view phase,
+                 int player, std::uint64_t round, std::string detail = {});
+
+// RAII span over one protocol phase. `Io` must expose id(), rounds() (sync
+// count so far), and sent() (CommCounters). Captures nothing when the
+// tracer is disabled; close() (or destruction) records the deltas.
+template <typename Io>
+class TraceSpan {
+ public:
+  TraceSpan(Io& io, std::string_view protocol, std::string_view phase,
+            std::string detail = {})
+      : io_(&io) {
+    if (!tracer().enabled()) return;
+    active_ = true;
+    ev_.kind = TraceEventKind::kSpan;
+    ev_.protocol.assign(protocol);
+    ev_.phase.assign(phase);
+    ev_.player = io.id();
+    ev_.round_begin = io.rounds();
+    ev_.detail = std::move(detail);
+    ops0_ = field_counters();
+    comm0_ = io.sent();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() { close(); }
+
+  // Records the span now (idempotent).
+  void close() {
+    if (!active_) return;
+    active_ = false;
+    ev_.round_end = io_->rounds();
+    ev_.ops = field_counters() - ops0_;
+    ev_.comm = io_->sent() - comm0_;
+    tracer().record(std::move(ev_));
+  }
+
+ private:
+  Io* io_;
+  bool active_ = false;
+  TraceEvent ev_;
+  FieldCounters ops0_;
+  CommCounters comm0_;
+};
+
+// ---------------------------------------------------------------------
+// Aggregation (shared by tools/trace_report and the budget tests).
+// ---------------------------------------------------------------------
+
+// Per-(protocol, phase) cost totals over one trace.
+struct PhaseCost {
+  std::string protocol;
+  std::string phase;
+  std::uint64_t spans = 0;    // span records aggregated
+  std::uint64_t players = 0;  // distinct players with a span here
+  // Rounds consumed by this phase per player: max over players of the sum
+  // of that player's span round ranges (honest players are in lockstep,
+  // so max == min in a clean run).
+  std::uint64_t rounds = 0;
+  FieldCounters ops;   // summed over all spans
+  CommCounters comm;   // summed over all spans (messages/bytes only)
+};
+
+// Aggregates the span records of `events` keyed by (protocol, phase), in
+// first-appearance order. Point events are ignored.
+std::vector<PhaseCost> aggregate_phases(const std::vector<TraceEvent>& events);
+
+// Sums the fault-event deltas of `events` (protocol "net", phase "fault").
+FaultCounters sum_fault_events(const std::vector<TraceEvent>& events);
+
+}  // namespace dprbg

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/serial.h"
+#include "common/trace.h"
 #include "net/cluster.h"
 #include "net/msg.h"
 
@@ -104,8 +105,10 @@ inline std::vector<GradeCastResult> grade_cast_all(
       make_tag(ProtoId::kGradeCast, instance, 2);
 
   // Round 1: every sender distributes its value.
+  TraceSpan send_span(io, "gradecast", "send");
   io.send_all(send_tag, my_value);
   const Inbox& in1 = io.sync();
+  send_span.close();
   std::vector<MaybeValue> received(n);
   for (int s = 0; s < n; ++s) {
     if (const Msg* m = in1.from(s, send_tag)) {
@@ -114,8 +117,10 @@ inline std::vector<GradeCastResult> grade_cast_all(
   }
 
   // Round 2: echo what we received from each sender (batched).
+  TraceSpan echo_span(io, "gradecast", "echo");
   io.send_all(echo_tag, gradecast_detail::encode_echoes(received));
   const Inbox& in2 = io.sync();
+  echo_span.close();
   // echoes[s]: value -> count of players echoing it for sender s.
   std::vector<std::map<std::vector<std::uint8_t>, int>> echoes(n);
   for (const Msg* m : in2.with_tag(echo_tag)) {
@@ -138,8 +143,10 @@ inline std::vector<GradeCastResult> grade_cast_all(
       }
     }
   }
+  TraceSpan support_span(io, "gradecast", "support");
   io.send_all(support_tag, gradecast_detail::encode_echoes(supports));
   const Inbox& in3 = io.sync();
+  support_span.close();
 
   std::vector<GradeCastResult> out(n);
   std::vector<std::map<std::vector<std::uint8_t>, int>> votes(n);

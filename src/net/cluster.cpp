@@ -1,9 +1,11 @@
 #include "net/cluster.h"
 
 #include <algorithm>
+#include <string>
 #include <thread>
 
 #include "common/check.h"
+#include "common/trace.h"
 
 namespace dprbg {
 
@@ -24,6 +26,19 @@ void PartyIo::send(int to, std::uint32_t tag,
   if (to != id_) {
     ++sent_.messages;
     sent_.bytes += body.size() + kHeaderBytes;
+    if (tracer().enabled()) {
+      TraceEvent ev;
+      ev.kind = TraceEventKind::kPoint;
+      ev.protocol = "net";
+      ev.phase = "send";
+      ev.player = id_;
+      ev.round_begin = ev.round_end = sent_.rounds;
+      ev.comm.messages = 1;
+      ev.comm.bytes = body.size() + kHeaderBytes;
+      ev.detail = "to=" + std::to_string(to) +
+                  " tag=" + std::to_string(tag);
+      tracer().record(std::move(ev));
+    }
   }
   staged_.push_back(Envelope{to, Msg{id_, tag, std::move(body)}});
 }
@@ -37,6 +52,7 @@ void PartyIo::send_all(std::uint32_t tag,
 
 const Inbox& PartyIo::sync() {
   cluster_.arrive_and_exchange();
+  ++sent_.rounds;
   return inbox_;
 }
 
@@ -54,6 +70,8 @@ void Cluster::do_exchange() {
   // envelope, account communication, and deliver sorted inboxes.
   std::vector<std::vector<Msg>> next(n_);
   const std::uint64_t round = exchange_index_++;
+  const bool trace_on = tracer().enabled();
+  const CommCounters comm_before = comm_;
   if (injector_ != nullptr) {
     // Delay-fault arrivals merge in ahead of this round's fresh traffic;
     // the (from, tag) stable sort below interleaves them deterministically.
@@ -71,8 +89,26 @@ void Cluster::do_exchange() {
       }
       if (injector_ != nullptr && env.to != env.msg.from) {
         // Self-deliveries are not links and are never faulted.
+        const FaultCounters faults_before = faults_;
+        const int from = env.msg.from;
+        const std::uint32_t tag = env.msg.tag;
         injector_->route(round, env.to, std::move(env.msg), next[env.to],
                          delayed_, faults_);
+        if (trace_on) {
+          const FaultCounters delta = faults_ - faults_before;
+          if (delta.total() != 0) {
+            TraceEvent ev;
+            ev.kind = TraceEventKind::kPoint;
+            ev.protocol = "net";
+            ev.phase = "fault";
+            ev.player = env.to;
+            ev.round_begin = ev.round_end = round;
+            ev.faults = delta;
+            ev.detail = "from=" + std::to_string(from) +
+                        " tag=" + std::to_string(tag);
+            tracer().record(std::move(ev));
+          }
+        }
       } else {
         next[env.to].push_back(std::move(env.msg));
       }
@@ -80,6 +116,17 @@ void Cluster::do_exchange() {
     p->staged_buffer().clear();
   }
   ++comm_.rounds;
+  if (trace_on) {
+    // Round-advance marker, stamped with the exchange's delivered totals.
+    TraceEvent ev;
+    ev.kind = TraceEventKind::kPoint;
+    ev.protocol = "net";
+    ev.phase = "round";
+    ev.player = -1;
+    ev.round_begin = ev.round_end = round;
+    ev.comm = comm_ - comm_before;
+    tracer().record(std::move(ev));
+  }
   for (int i = 0; i < n_; ++i) {
     // Stable by send order; sort by (from, tag) so same-sender same-tag
     // duplicates are adjacent and ordering is deterministic.

@@ -54,8 +54,12 @@ class PartyIo {
   // Messages delivered at the last sync().
   [[nodiscard]] const Inbox& inbox() const { return inbox_; }
 
-  // Communication this player has sent so far (self-deliveries free).
+  // Communication this player has staged so far (self-deliveries free);
+  // `sent().rounds` counts this player's completed sync() calls.
   [[nodiscard]] const CommCounters& sent() const { return sent_; }
+  // Rounds this player has completed (== sent().rounds). TraceSpan
+  // (common/trace.h) uses this to stamp per-phase round ranges.
+  [[nodiscard]] std::uint64_t rounds() const { return sent_.rounds; }
 
  private:
   friend class Cluster;
@@ -117,6 +121,17 @@ class Cluster {
 
   // Aggregate communication across all players and all run() calls.
   [[nodiscard]] const CommCounters& comm() const { return comm_; }
+  // Per-player communication staged so far (player i's PartyIo::sent()).
+  // Must not be called while run() is active. For programs that end with
+  // a sync(), the message/byte sums equal comm() exactly; `rounds` is the
+  // player's own sync count (not summed into comm().rounds, which counts
+  // cluster exchanges).
+  [[nodiscard]] std::vector<CommCounters> per_player_comm() const {
+    std::vector<CommCounters> out;
+    out.reserve(parties_.size());
+    for (const auto& p : parties_) out.push_back(p->sent());
+    return out;
+  }
   // Aggregate field-operation counts across all player threads.
   [[nodiscard]] const FieldCounters& field_ops() const { return field_ops_; }
   // Per-player field-operation counts from the last run().

@@ -31,6 +31,7 @@
 #include <span>
 #include <vector>
 
+#include "common/trace.h"
 #include "gf/field_concept.h"
 #include "gf/field_io.h"
 #include "net/cluster.h"
@@ -77,20 +78,25 @@ BatchVssOutcome<F> batch_vss(
   // Distribution round: the dealer hands every player its row of the
   // share matrix in a single message of M field elements (size Mk bits,
   // matching Lemma 6's accounting).
-  if (io.id() == dealer) {
-    DPRBG_CHECK(dealer_polys.size() == expected_m);
-    for (int i = 0; i < n; ++i) {
-      ByteWriter w;
-      for (const auto& f : dealer_polys) {
-        write_elem(w, f(eval_point<F>(i)));
+  {
+    TraceSpan deal(io, "batch-vss", "deal");
+    if (io.id() == dealer) {
+      DPRBG_CHECK(dealer_polys.size() == expected_m);
+      for (int i = 0; i < n; ++i) {
+        ByteWriter w;
+        for (const auto& f : dealer_polys) {
+          write_elem(w, f(eval_point<F>(i)));
+        }
+        io.send(i, share_tag, std::move(w).take());
       }
-      io.send(i, share_tag, std::move(w).take());
     }
   }
 
   // Step 1: expose the challenge (delivers the shares at the same sync;
   // the dealer committed before r became known).
+  TraceSpan challenge(io, "batch-vss", "challenge");
   const std::optional<F> r_val = coin_expose<F>(io, challenge_coin, instance);
+  challenge.close();
 
   BatchVssOutcome<F> out;
   out.shares.assign(expected_m, F::zero());
@@ -108,13 +114,16 @@ BatchVssOutcome<F> batch_vss(
   out.challenge = r;
 
   // Steps 2-3: Horner combination, broadcast.
+  TraceSpan combine(io, "batch-vss", "combine");
   ByteWriter w;
   write_elem(w, batch_combine<F>(out.shares, r));
   io.send_all(combo_tag, w.data());
   const Inbox& in = io.sync();
+  combine.close();
 
   // Step 4: one interpolation (Berlekamp-Welch, tolerating faulty
   // announcers as in vss.h) certifies all M sharings at once.
+  TraceSpan interpolate(io, "batch-vss", "interpolate");
   std::vector<PointValue<F>> points;
   for (const Msg* m : in.with_tag(combo_tag)) {
     const auto beta = decode_elem_row<F>(m->body, 1);
@@ -128,7 +137,11 @@ BatchVssOutcome<F> batch_vss(
       std::min(static_cast<unsigned>(io.t()),
                static_cast<unsigned>((points.size() - t - 1) / 2));
   const auto decoded = berlekamp_welch<F>(points, t, max_errors);
-  if (!decoded) return out;
+  if (!decoded) {
+    trace_point("batch-vss", "decode-fail", io.id(), io.rounds(),
+                "berlekamp-welch failed");
+    return out;
+  }
   unsigned agreements = 0;
   for (const auto& pv : points) {
     if ((*decoded)(pv.x) == pv.y) ++agreements;

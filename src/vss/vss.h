@@ -26,6 +26,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/trace.h"
 #include "gf/field_concept.h"
 #include "gf/field_io.h"
 #include "net/cluster.h"
@@ -64,14 +65,17 @@ VssOutcome<F> vss_share_and_verify(
   const int n = io.n();
 
   // Step 1: dealer distributes alpha_i = f(i) and gamma_i = g(i).
-  if (io.id() == dealer) {
-    DPRBG_CHECK(dealer_poly.has_value());
-    const Polynomial<F> g = Polynomial<F>::random(t, io.rng());
-    for (int i = 0; i < n; ++i) {
-      ByteWriter w;
-      write_elem(w, (*dealer_poly)(eval_point<F>(i)));
-      write_elem(w, g(eval_point<F>(i)));
-      io.send(i, share_tag, std::move(w).take());
+  {
+    TraceSpan deal(io, "vss", "deal");
+    if (io.id() == dealer) {
+      DPRBG_CHECK(dealer_poly.has_value());
+      const Polynomial<F> g = Polynomial<F>::random(t, io.rng());
+      for (int i = 0; i < n; ++i) {
+        ByteWriter w;
+        write_elem(w, (*dealer_poly)(eval_point<F>(i)));
+        write_elem(w, g(eval_point<F>(i)));
+        io.send(i, share_tag, std::move(w).take());
+      }
     }
   }
 
@@ -84,8 +88,10 @@ VssOutcome<F> vss_share_and_verify(
   {
     // Both the share delivery and the coin shares arrive at the next
     // sync; coin_expose performs it.
+    TraceSpan challenge(io, "vss", "challenge");
     const std::optional<F> r_val =
         coin_expose<F>(io, challenge_coin, instance);
+    challenge.close();
     const Msg* mine = io.inbox().from(dealer, share_tag);
     if (mine != nullptr) {
       // Exactly (alpha, gamma), size-validated before reading.
@@ -103,10 +109,13 @@ VssOutcome<F> vss_share_and_verify(
     const F r = *r_val;
 
     // Step 3: broadcast beta_i = alpha_i + r * gamma_i.
+    TraceSpan respond(io, "vss", "respond");
     ByteWriter w;
     write_elem(w, alpha + r * gamma);
     io.send_all(combo_tag, w.data());
     const Inbox& in = io.sync();
+    respond.close();
+    TraceSpan interpolate(io, "vss", "interpolate");
 
     // Step 4: interpolate through the broadcast values; accept iff a
     // degree-<=t polynomial explains all honest contributions. Faulty
@@ -130,7 +139,11 @@ VssOutcome<F> vss_share_and_verify(
         static_cast<unsigned>(io.t()),
         static_cast<unsigned>((points.size() - t - 1) / 2));
     const auto decoded = berlekamp_welch<F>(points, t, max_errors);
-    if (!decoded) return out;
+    if (!decoded) {
+      trace_point("vss", "decode-fail", io.id(), io.rounds(),
+                  "berlekamp-welch failed");
+      return out;
+    }
     // Require the decoded polynomial to explain >= n - t announcements.
     unsigned agreements = 0;
     for (const auto& pv : points) {

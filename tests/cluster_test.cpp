@@ -154,6 +154,35 @@ TEST(ClusterTest, CommCountersTrackTraffic) {
   EXPECT_GT(cluster.comm().bytes, 0u);
 }
 
+TEST(ClusterTest, PerPlayerCommSumsToClusterTotals) {
+  const int n = 5;
+  Cluster cluster(n, 1, 11);
+  cluster.run(std::vector<Cluster::Program>(n, [&](PartyIo& io) {
+    // Asymmetric traffic: player i sends i+1 rounds of announcements,
+    // then keeps syncing so every staged message gets exchanged.
+    for (int r = 0; r < n; ++r) {
+      if (r <= io.id()) {
+        io.send_all(make_tag(ProtoId::kApp, 7, r), payload(io.id()));
+      }
+      io.sync();
+    }
+  }));
+  const auto per_player = cluster.per_player_comm();
+  ASSERT_EQ(per_player.size(), static_cast<std::size_t>(n));
+  CommCounters sum;
+  for (int i = 0; i < n; ++i) {
+    // Player i announced in i+1 rounds, n-1 non-self messages each.
+    EXPECT_EQ(per_player[i].messages, static_cast<std::uint64_t>(
+                                          (i + 1) * (n - 1)));
+    EXPECT_EQ(per_player[i].rounds, static_cast<std::uint64_t>(n));
+    sum += per_player[i];
+  }
+  EXPECT_EQ(sum.messages, cluster.comm().messages);
+  EXPECT_EQ(sum.bytes, cluster.comm().bytes);
+  // comm().rounds counts cluster exchanges, not the sum of player syncs.
+  EXPECT_EQ(cluster.comm().rounds, static_cast<std::uint64_t>(n));
+}
+
 TEST(ClusterTest, PlayerExceptionPropagates) {
   Cluster cluster(3, 0, 8);
   std::vector<Cluster::Program> programs(3, [](PartyIo& io) { io.sync(); });

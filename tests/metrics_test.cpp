@@ -1,0 +1,149 @@
+// Direct coverage for common/metrics.h: counter algebra, MetricsScope
+// delta capture (including nested scopes), and to_string round-trips.
+// These counters are the substance of every cost table in EXPERIMENTS.md,
+// so their arithmetic is locked down here.
+
+#include <gtest/gtest.h>
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/metrics.h"
+
+namespace dprbg {
+namespace {
+
+TEST(MetricsTest, FieldCountersPlusEqualsAndMinus) {
+  FieldCounters a{1, 2, 3, 4};
+  const FieldCounters b{10, 20, 30, 40};
+  a += b;
+  EXPECT_EQ(a.adds, 11u);
+  EXPECT_EQ(a.muls, 22u);
+  EXPECT_EQ(a.invs, 33u);
+  EXPECT_EQ(a.interpolations, 44u);
+
+  const FieldCounters d = a - b;
+  EXPECT_EQ(d.adds, 1u);
+  EXPECT_EQ(d.muls, 2u);
+  EXPECT_EQ(d.invs, 3u);
+  EXPECT_EQ(d.interpolations, 4u);
+}
+
+TEST(MetricsTest, CommCountersPlusEqualsAndMinus) {
+  CommCounters a{5, 500, 2};
+  const CommCounters b{3, 300, 1};
+  a += b;
+  EXPECT_EQ(a.messages, 8u);
+  EXPECT_EQ(a.bytes, 800u);
+  EXPECT_EQ(a.rounds, 3u);
+  const CommCounters d = a - b;
+  EXPECT_EQ(d.messages, 5u);
+  EXPECT_EQ(d.bytes, 500u);
+  EXPECT_EQ(d.rounds, 2u);
+}
+
+TEST(MetricsTest, FaultCountersTotalAndAlgebra) {
+  FaultCounters a{1, 2, 3, 4};
+  EXPECT_EQ(a.total(), 10u);
+  const FaultCounters b{1, 1, 1, 1};
+  a += b;
+  EXPECT_EQ(a.total(), 14u);
+  const FaultCounters d = a - b;
+  EXPECT_EQ(d.dropped, 1u);
+  EXPECT_EQ(d.delayed, 2u);
+  EXPECT_EQ(d.duplicated, 3u);
+  EXPECT_EQ(d.corrupted, 4u);
+  EXPECT_EQ(FaultCounters{}.total(), 0u);
+}
+
+TEST(MetricsTest, CountHooksBumpThreadLocalCounters) {
+  const FieldCounters before = field_counters();
+  count_add();
+  count_add();
+  count_mul();
+  count_inv();
+  count_interpolation();
+  const FieldCounters delta = field_counters() - before;
+  EXPECT_EQ(delta.adds, 2u);
+  EXPECT_EQ(delta.muls, 1u);
+  EXPECT_EQ(delta.invs, 1u);
+  EXPECT_EQ(delta.interpolations, 1u);
+}
+
+TEST(MetricsTest, MetricsScopeCapturesExactDelta) {
+  MetricsScope scope;
+  count_add();
+  count_mul();
+  count_mul();
+  const FieldCounters d = scope.delta();
+  EXPECT_EQ(d.adds, 1u);
+  EXPECT_EQ(d.muls, 2u);
+  EXPECT_EQ(d.invs, 0u);
+  EXPECT_EQ(d.interpolations, 0u);
+}
+
+TEST(MetricsTest, NestedScopesSeeOnlyTheirOwnWindow) {
+  MetricsScope outer;
+  count_add();
+  {
+    MetricsScope inner;
+    count_mul();
+    count_interpolation();
+    const FieldCounters di = inner.delta();
+    EXPECT_EQ(di.adds, 0u);  // the outer add predates the inner scope
+    EXPECT_EQ(di.muls, 1u);
+    EXPECT_EQ(di.interpolations, 1u);
+  }
+  count_add();
+  const FieldCounters d = outer.delta();
+  EXPECT_EQ(d.adds, 2u);  // outer sees its own plus the nested window
+  EXPECT_EQ(d.muls, 1u);
+  EXPECT_EQ(d.interpolations, 1u);
+}
+
+// to_string must stay machine-recoverable: the chaos harness and
+// EXPERIMENTS.md quote these lines, and trace tooling greps them.
+TEST(MetricsTest, FieldCountersToStringRoundTrips) {
+  const FieldCounters c{12, 34, 56, 78};
+  FieldCounters parsed;
+  ASSERT_EQ(std::sscanf(to_string(c).c_str(),
+                        "adds=%" SCNu64 " muls=%" SCNu64 " invs=%" SCNu64
+                        " interps=%" SCNu64,
+                        &parsed.adds, &parsed.muls, &parsed.invs,
+                        &parsed.interpolations),
+            4);
+  EXPECT_EQ(parsed.adds, c.adds);
+  EXPECT_EQ(parsed.muls, c.muls);
+  EXPECT_EQ(parsed.invs, c.invs);
+  EXPECT_EQ(parsed.interpolations, c.interpolations);
+}
+
+TEST(MetricsTest, CommCountersToStringRoundTrips) {
+  const CommCounters c{7, 890, 12};
+  CommCounters parsed;
+  ASSERT_EQ(std::sscanf(to_string(c).c_str(),
+                        "msgs=%" SCNu64 " bytes=%" SCNu64 " rounds=%" SCNu64,
+                        &parsed.messages, &parsed.bytes, &parsed.rounds),
+            3);
+  EXPECT_EQ(parsed.messages, c.messages);
+  EXPECT_EQ(parsed.bytes, c.bytes);
+  EXPECT_EQ(parsed.rounds, c.rounds);
+}
+
+TEST(MetricsTest, FaultCountersToStringRoundTrips) {
+  const FaultCounters c{1, 22, 333, 4444};
+  FaultCounters parsed;
+  ASSERT_EQ(std::sscanf(to_string(c).c_str(),
+                        "dropped=%" SCNu64 " delayed=%" SCNu64
+                        " duplicated=%" SCNu64 " corrupted=%" SCNu64,
+                        &parsed.dropped, &parsed.delayed, &parsed.duplicated,
+                        &parsed.corrupted),
+            4);
+  EXPECT_EQ(parsed.dropped, c.dropped);
+  EXPECT_EQ(parsed.delayed, c.delayed);
+  EXPECT_EQ(parsed.duplicated, c.duplicated);
+  EXPECT_EQ(parsed.corrupted, c.corrupted);
+}
+
+}  // namespace
+}  // namespace dprbg

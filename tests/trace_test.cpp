@@ -1,0 +1,312 @@
+// Tests for the protocol tracing layer (common/trace.h):
+//   * enable/disable contract — a disabled tracer records nothing and an
+//     enabled tracer does not perturb the execution (same comm bytes,
+//     same field ops, same protocol outputs as an untraced run);
+//   * TraceSpan delta capture;
+//   * JSONL serialization round-trips;
+//   * net-layer events: round/send events reconcile with Cluster::comm(),
+//     and fault events sum exactly to Cluster::faults() (the chaos
+//     acceptance criterion).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "common/trace.h"
+#include "coin/coin_gen.h"
+#include "dprbg/coin_pool.h"
+#include "dprbg/trusted_dealer.h"
+#include "gf/gf2.h"
+#include "net/cluster.h"
+#include "net/fault.h"
+
+namespace dprbg {
+namespace {
+
+using F = GF2_64;
+
+// Every test leaves the global tracer off and empty.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tracer().set_enabled(false);
+    tracer().clear();
+  }
+  void TearDown() override {
+    tracer().set_enabled(false);
+    tracer().clear();
+  }
+};
+
+struct CoinGenRun {
+  CommCounters comm;
+  FieldCounters ops;
+  bool success = false;
+  std::vector<int> clique;
+  std::vector<std::optional<F>> coins;
+};
+
+CoinGenRun run_coin_gen(std::uint64_t seed, unsigned m = 2) {
+  const int n = 7;
+  const unsigned t = 1;
+  auto genesis = trusted_dealer_coins<F>(n, t, 8, seed);
+  Cluster cluster(n, static_cast<int>(t), seed);
+  CoinGenRun out;
+  out.coins.assign(m, std::nullopt);
+  cluster.run(std::vector<Cluster::Program>(n, [&](PartyIo& io) {
+    CoinPool<F> pool;
+    for (auto& c : genesis[io.id()]) pool.add(std::move(c));
+    const auto result = coin_gen<F>(io, m, pool);
+    const auto sealed = result.sealed_coins(t);
+    std::vector<std::optional<F>> coins(m);
+    for (unsigned h = 0; h < m && result.success; ++h) {
+      const SealedCoin<F> coin =
+          h < sealed.size() ? sealed[h] : SealedCoin<F>{std::nullopt, t};
+      coins[h] = coin_expose<F>(io, coin, /*instance=*/100 + h);
+    }
+    if (io.id() == 0) {
+      out.success = result.success;
+      out.clique = result.clique;
+      out.coins = std::move(coins);
+    }
+  }));
+  out.comm = cluster.comm();
+  out.ops = cluster.field_ops();
+  return out;
+}
+
+TEST_F(TraceTest, DisabledTracerRecordsNothing) {
+  ASSERT_FALSE(tracer().enabled());
+  (void)run_coin_gen(/*seed=*/7);
+  EXPECT_EQ(tracer().size(), 0u);
+}
+
+// Acceptance criterion: tracing compiled in but off leaves the execution
+// identical — and flipping it on must not change what the protocol does,
+// only observe it.
+TEST_F(TraceTest, TracingDoesNotPerturbTheExecution) {
+  const CoinGenRun off = run_coin_gen(/*seed=*/11);
+  ASSERT_TRUE(off.success);
+  ASSERT_EQ(tracer().size(), 0u);
+
+  tracer().set_enabled(true);
+  const CoinGenRun on = run_coin_gen(/*seed=*/11);
+  tracer().set_enabled(false);
+  EXPECT_GT(tracer().size(), 0u);
+
+  EXPECT_EQ(on.success, off.success);
+  EXPECT_EQ(on.clique, off.clique);
+  for (std::size_t h = 0; h < off.coins.size(); ++h) {
+    ASSERT_TRUE(on.coins[h].has_value());
+    ASSERT_TRUE(off.coins[h].has_value());
+    EXPECT_EQ(*on.coins[h], *off.coins[h]);
+  }
+  // Identical transcript: same messages, bytes, rounds, and field ops.
+  EXPECT_EQ(on.comm.messages, off.comm.messages);
+  EXPECT_EQ(on.comm.bytes, off.comm.bytes);
+  EXPECT_EQ(on.comm.rounds, off.comm.rounds);
+  EXPECT_EQ(on.ops.adds, off.ops.adds);
+  EXPECT_EQ(on.ops.muls, off.ops.muls);
+  EXPECT_EQ(on.ops.invs, off.ops.invs);
+  EXPECT_EQ(on.ops.interpolations, off.ops.interpolations);
+}
+
+struct FakeIo {
+  int id_value = 3;
+  std::uint64_t rounds_value = 10;
+  CommCounters sent_value{};
+  [[nodiscard]] int id() const { return id_value; }
+  [[nodiscard]] std::uint64_t rounds() const { return rounds_value; }
+  [[nodiscard]] const CommCounters& sent() const { return sent_value; }
+};
+
+TEST_F(TraceTest, SpanCapturesRoundAndCounterDeltas) {
+  tracer().set_enabled(true);
+  FakeIo io;
+  {
+    TraceSpan span(io, "test-proto", "test-phase", "note=1");
+    count_add();
+    count_add();
+    count_interpolation();
+    io.rounds_value = 13;
+    io.sent_value.messages = 6;
+    io.sent_value.bytes = 120;
+  }
+  tracer().set_enabled(false);
+  const auto events = tracer().events();
+  ASSERT_EQ(events.size(), 1u);
+  const TraceEvent& ev = events[0];
+  EXPECT_EQ(ev.kind, TraceEventKind::kSpan);
+  EXPECT_EQ(ev.protocol, "test-proto");
+  EXPECT_EQ(ev.phase, "test-phase");
+  EXPECT_EQ(ev.player, 3);
+  EXPECT_EQ(ev.round_begin, 10u);
+  EXPECT_EQ(ev.round_end, 13u);
+  EXPECT_EQ(ev.rounds(), 3u);
+  EXPECT_EQ(ev.ops.adds, 2u);
+  EXPECT_EQ(ev.ops.interpolations, 1u);
+  EXPECT_EQ(ev.comm.messages, 6u);
+  EXPECT_EQ(ev.comm.bytes, 120u);
+  EXPECT_EQ(ev.detail, "note=1");
+}
+
+TEST_F(TraceTest, SpanOpenedWhileDisabledRecordsNothing) {
+  FakeIo io;
+  {
+    TraceSpan span(io, "p", "q");
+    tracer().set_enabled(true);  // enabling mid-span must not record it
+  }
+  EXPECT_EQ(tracer().size(), 0u);
+}
+
+TEST_F(TraceTest, JsonlRoundTripsAllFields) {
+  TraceEvent ev;
+  ev.seq = 99;
+  ev.kind = TraceEventKind::kSpan;
+  ev.protocol = "coin-gen";
+  ev.phase = "gradecast";
+  ev.player = 5;
+  ev.round_begin = 7;
+  ev.round_end = 10;
+  ev.ops = {1, 2, 3, 4};
+  ev.comm = {5, 600, 3};
+  ev.faults = {1, 0, 2, 0};
+  ev.detail = "quote=\" slash=\\ nl=\n tab=\t";
+
+  TraceEvent back;
+  ASSERT_TRUE(from_jsonl(to_jsonl(ev), back));
+  EXPECT_EQ(back.seq, ev.seq);
+  EXPECT_EQ(back.kind, ev.kind);
+  EXPECT_EQ(back.protocol, ev.protocol);
+  EXPECT_EQ(back.phase, ev.phase);
+  EXPECT_EQ(back.player, ev.player);
+  EXPECT_EQ(back.round_begin, ev.round_begin);
+  EXPECT_EQ(back.round_end, ev.round_end);
+  EXPECT_EQ(back.ops.adds, ev.ops.adds);
+  EXPECT_EQ(back.ops.muls, ev.ops.muls);
+  EXPECT_EQ(back.ops.invs, ev.ops.invs);
+  EXPECT_EQ(back.ops.interpolations, ev.ops.interpolations);
+  EXPECT_EQ(back.comm.messages, ev.comm.messages);
+  EXPECT_EQ(back.comm.bytes, ev.comm.bytes);
+  EXPECT_EQ(back.faults.dropped, ev.faults.dropped);
+  EXPECT_EQ(back.faults.duplicated, ev.faults.duplicated);
+  EXPECT_EQ(back.detail, ev.detail);
+}
+
+TEST_F(TraceTest, ReadJsonlSkipsMalformedLines) {
+  TraceEvent ev;
+  ev.protocol = "x";
+  ev.phase = "y";
+  std::stringstream ss;
+  ss << to_jsonl(ev) << "\n"
+     << "not json at all\n"
+     << "\n"
+     << to_jsonl(ev) << "\n";
+  std::size_t malformed = 0;
+  const auto events = read_jsonl(ss, &malformed);
+  EXPECT_EQ(events.size(), 2u);
+  EXPECT_EQ(malformed, 1u);
+}
+
+TEST_F(TraceTest, AggregatePhasesSumsOpsAndTakesLockstepRounds) {
+  std::vector<TraceEvent> events;
+  auto span = [](int player, std::uint64_t r0, std::uint64_t r1,
+                 std::uint64_t adds) {
+    TraceEvent ev;
+    ev.kind = TraceEventKind::kSpan;
+    ev.protocol = "p";
+    ev.phase = "f";
+    ev.player = player;
+    ev.round_begin = r0;
+    ev.round_end = r1;
+    ev.ops.adds = adds;
+    return ev;
+  };
+  events.push_back(span(0, 0, 2, 10));  // player 0: 2 rounds
+  events.push_back(span(1, 0, 2, 20));  // player 1: 2 rounds
+  events.push_back(span(0, 5, 6, 5));   // player 0 again: +1 round
+  const auto phases = aggregate_phases(events);
+  ASSERT_EQ(phases.size(), 1u);
+  EXPECT_EQ(phases[0].spans, 3u);
+  EXPECT_EQ(phases[0].players, 2u);
+  EXPECT_EQ(phases[0].rounds, 3u);  // max over players: 0 has 2+1
+  EXPECT_EQ(phases[0].ops.adds, 35u);
+}
+
+// ---------------------------------------------------------------------
+// Net-layer event reconciliation.
+// ---------------------------------------------------------------------
+
+TEST_F(TraceTest, RoundAndSendEventsReconcileWithClusterComm) {
+  const int n = 5;
+  Cluster cluster(n, 1, /*seed=*/3);
+  tracer().set_enabled(true);
+  cluster.run(std::vector<Cluster::Program>(n, [](PartyIo& io) {
+    for (int r = 0; r < 3; ++r) {
+      io.send_all(make_tag(ProtoId::kApp, 0, r), {1, 2, 3});
+      io.sync();
+    }
+  }));
+  tracer().set_enabled(false);
+
+  CommCounters from_round_events;
+  CommCounters from_send_events;
+  std::uint64_t round_events = 0;
+  for (const auto& ev : tracer().events()) {
+    if (ev.protocol != "net") continue;
+    if (ev.phase == "round") {
+      ++round_events;
+      from_round_events += ev.comm;
+    } else if (ev.phase == "send") {
+      from_send_events += ev.comm;
+    }
+  }
+  EXPECT_EQ(round_events, cluster.comm().rounds);
+  EXPECT_EQ(from_round_events.messages, cluster.comm().messages);
+  EXPECT_EQ(from_round_events.bytes, cluster.comm().bytes);
+  EXPECT_EQ(from_send_events.messages, cluster.comm().messages);
+  EXPECT_EQ(from_send_events.bytes, cluster.comm().bytes);
+}
+
+// Acceptance criterion: a chaos run's fault events sum to exactly
+// Cluster::faults().
+TEST_F(TraceTest, FaultEventsMatchClusterFaultTotalsExactly) {
+  const int n = 7;
+  const unsigned t = 1;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    SCOPED_TRACE("fault seed " + std::to_string(seed));
+    tracer().clear();
+    FaultPlanParams params;
+    params.n = n;
+    params.t = t;
+    params.rounds = 24;
+    params.fault_rate = 0.25;
+    FaultPlan plan = random_fault_plan(params, seed);
+    Cluster cluster(n, static_cast<int>(t), seed);
+    cluster.set_fault_injector(
+        std::make_shared<FaultInjector>(std::move(plan)));
+
+    auto genesis = trusted_dealer_coins<F>(n, t, 8, seed);
+    tracer().set_enabled(true);
+    cluster.run(std::vector<Cluster::Program>(n, [&](PartyIo& io) {
+      CoinPool<F> pool;
+      for (auto& c : genesis[io.id()]) pool.add(std::move(c));
+      (void)coin_gen<F>(io, /*m=*/2, pool);
+    }));
+    tracer().set_enabled(false);
+
+    const FaultCounters traced = sum_fault_events(tracer().events());
+    const FaultCounters& actual = cluster.faults();
+    EXPECT_EQ(traced.dropped, actual.dropped);
+    EXPECT_EQ(traced.delayed, actual.delayed);
+    EXPECT_EQ(traced.duplicated, actual.duplicated);
+    EXPECT_EQ(traced.corrupted, actual.corrupted);
+    EXPECT_GT(actual.total(), 0u) << "plan injected nothing; weak test";
+  }
+}
+
+}  // namespace
+}  // namespace dprbg

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# One-stop pre-merge gate: tier-1 suite, the per-phase cost-regression
+# budgets (tests/trace_budget_test.cpp — the paper's lemmas as executable
+# budgets), and the sanitizer matrix. The budget test runs again under
+# TSan via sanitize.sh, so a data race in the tracer cannot hide behind
+# a green plain-mode run.
+#
+# Usage: tools/check.sh [fast]
+#   fast  — skip the sanitizer matrix (tier-1 + budgets only)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-full}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+echo "=== [check] tier-1: configure + build ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+
+echo "=== [check] tier-1: ctest ==="
+(cd build && ctest --output-on-failure -j "$jobs")
+
+echo "=== [check] cost-regression budgets (trace_budget_test) ==="
+./build/tests/trace_budget_test
+
+if [[ "$mode" == "full" ]]; then
+  echo "=== [check] sanitizer matrix ==="
+  tools/sanitize.sh all
+else
+  echo "=== [check] fast mode: sanitizer matrix skipped ==="
+fi
+
+echo "check.sh: all requested gates passed"
