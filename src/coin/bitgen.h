@@ -179,7 +179,7 @@ BitGenView<F> bit_gen_single(PartyIo& io, int dealer, unsigned m_total,
   view.poly = bitgen_detail::decode_combination<F>(view.combos, n, t);
   if (!view.poly && tracer().enabled()) {
     trace_point("bitgen", "decode-fail", io.id(), io.rounds(),
-                "dealer=" + std::to_string(dealer));
+                "dealer=" + std::to_string(dealer), io.stream());
   }
   return view;
 }
@@ -265,7 +265,7 @@ BitGenAllOutcome<F> bit_gen_all(PartyIo& io,
         out.views[dealer].combos, n, t);
     if (!out.views[dealer].poly && tracer().enabled()) {
       trace_point("bitgen", "decode-fail", io.id(), io.rounds(),
-                  "dealer=" + std::to_string(dealer));
+                  "dealer=" + std::to_string(dealer), io.stream());
     }
   }
   return out;

@@ -63,7 +63,7 @@ std::optional<F> coin_expose(PartyIo& io, const SealedCoin<F>& coin,
   }
   if (points.size() < coin.degree + 1) {
     trace_point("coin-expose", "decode-fail", io.id(), io.rounds(),
-                "too few shares");
+                "too few shares", io.stream());
     return std::nullopt;
   }
   // Tolerate up to t lies, but never more than the distance allows.
@@ -74,7 +74,7 @@ std::optional<F> coin_expose(PartyIo& io, const SealedCoin<F>& coin,
   const auto poly = berlekamp_welch<F>(points, coin.degree, max_errors);
   if (!poly) {
     trace_point("coin-expose", "decode-fail", io.id(), io.rounds(),
-                "berlekamp-welch failed");
+                "berlekamp-welch failed", io.stream());
     return std::nullopt;
   }
   return (*poly)(F::zero());

@@ -204,7 +204,8 @@ CoinGenResult<F> coin_gen(PartyIo& io, unsigned m, CoinPool<F>& pool,
         g.add_edge(j, k);
         if (tracer().enabled()) {
           trace_point("coin-gen", "edge", io.id(), io.rounds(),
-                      "j=" + std::to_string(j) + " k=" + std::to_string(k));
+                      "j=" + std::to_string(j) + " k=" + std::to_string(k),
+                      io.stream());
         }
       }
     }

@@ -1,0 +1,158 @@
+// Pipelined Coin-Gen scheduler: a depth-D window of in-flight Coin-Gen
+// batches over the cluster's round streams (net/cluster.h).
+//
+// Coin-Gen's ~10 rounds (Lemma 8 at t=1) are latency-bound: each round is
+// one network traversal, and the protocol's per-round compute is tiny.
+// Running B batches back-to-back therefore costs B * 10 round trips. But
+// distinct batches share no state — each is its own dealing, its own
+// graph, its own leader draw — so batch k+1's deal round can ride the
+// same traversal as batch k's gradecast. This driver overlaps up to
+// `depth` batches, each on its own round stream (wire-tagged, demuxed by
+// the cluster), cutting wall-clock to ~B/D * 10 traversals while leaving
+// every per-batch transcript identical to a serial run.
+//
+// Scheduling rule (identical at every player, which is what keeps the
+// streams deadlock-free): launch batches 0..D-1, then on joining batch b
+// launch batch b+D; batches complete and are drained strictly in order.
+// Each batch runs on a dedicated worker thread against the per-batch
+// PartyIo handle `io.instance(first_batch_id + b)`.
+//
+// Seed-coin accounting: the pool must be touched only from the driving
+// thread in a canonical order (honest pools are index-aligned across
+// players). Each batch is charged an up-front sub-pool of
+// min(1 + leader_coins, pool.remaining()) coins at launch; unspent coins
+// return to the pool when the batch is joined. Both happen in launch /
+// join order, so pool alignment is preserved no matter how the batches
+// interleave in wall-clock.
+//
+// depth <= 1 degenerates to the plain serial coin_gen() loop on the
+// caller's own stream — bit-for-bit the pre-pipeline behavior.
+
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "ba/binary_ba.h"
+#include "common/metrics.h"
+#include "gf/field_concept.h"
+#include "net/cluster.h"
+#include "coin/coin_gen.h"
+#include "dprbg/coin_pool.h"
+
+namespace dprbg {
+
+struct PipelineOptions {
+  // In-flight window: how many Coin-Gen batches overlap. 1 = serial.
+  unsigned depth = 2;
+  // Round-stream id of batch 0; batch b runs on stream first_batch_id + b.
+  // Must be nonzero (stream 0 is the caller's root stream) and must not
+  // reuse a stream id from an earlier pipeline run on the same cluster.
+  std::uint32_t first_batch_id = 1;
+  // Seed coins charged per batch beyond the Bit-Gen challenge: one per
+  // leader draw the batch may need. Lemma 8 makes >1 draw unlikely
+  // (probability <= t/n each), so a small budget covers the expected
+  // case; a batch that exhausts it fails unanimously and is retried by
+  // the caller's refill loop.
+  unsigned leader_coins = 3;
+  // Forwarded to coin_gen (cap on BA iterations per batch).
+  unsigned max_iterations = 16;
+};
+
+template <FiniteField F>
+struct PipelineResult {
+  // Per-batch outcomes, in batch order (index b = stream
+  // first_batch_id + b).
+  std::vector<CoinGenResult<F>> batches;
+  // Seed coins actually consumed across all batches (unspent charges are
+  // returned to the pool and not counted).
+  unsigned seed_coins_used = 0;
+
+  [[nodiscard]] unsigned successes() const {
+    unsigned s = 0;
+    for (const auto& b : batches) {
+      if (b.success) ++s;
+    }
+    return s;
+  }
+};
+
+// Runs `batches` Coin-Gen instances of M=m coins each, overlapping up to
+// opts.depth of them. All players call in lockstep with identical
+// arguments (as with coin_gen itself). Exceptions from worker threads are
+// rethrown only after every launched batch has been joined.
+template <FiniteField F>
+PipelineResult<F> pipelined_coin_gen(PartyIo& io, unsigned m,
+                                     CoinPool<F>& pool, unsigned batches,
+                                     const PipelineOptions& opts = {},
+                                     const BinaryBa& ba = default_binary_ba) {
+  PipelineResult<F> result;
+  result.batches.resize(batches);
+  if (batches == 0) return result;
+
+  if (opts.depth <= 1) {
+    for (unsigned b = 0; b < batches; ++b) {
+      result.batches[b] = coin_gen<F>(io, m, pool, opts.max_iterations, ba);
+      result.seed_coins_used += result.batches[b].seed_coins_used;
+    }
+    return result;
+  }
+
+  struct InFlight {
+    std::thread th;
+    CoinPool<F> subpool;          // this batch's seed-coin charge
+    CoinGenResult<F> outcome;
+    FieldCounters ops;            // worker-thread field ops, harvested
+    std::exception_ptr error;
+  };
+  std::vector<InFlight> flight(batches);
+
+  auto launch = [&](unsigned b) {
+    InFlight& fl = flight[b];
+    const std::size_t charge =
+        std::min<std::size_t>(1 + opts.leader_coins, pool.remaining());
+    fl.subpool.add_batch(pool.take_batch(charge));
+    const std::uint32_t stream = opts.first_batch_id + b;
+    fl.th = std::thread([&fl, &io, &opts, &ba, m, stream] {
+      // field_counters() is thread_local; measure this worker's delta so
+      // the driver can fold it back into the driving thread's counters
+      // (keeping Cluster::per_player_field_ops exact).
+      const FieldCounters before = field_counters();
+      try {
+        PartyIo& bio = io.instance(stream);
+        fl.outcome =
+            coin_gen<F>(bio, m, fl.subpool, opts.max_iterations, ba);
+      } catch (...) {
+        fl.error = std::current_exception();
+      }
+      fl.ops = field_counters() - before;
+    });
+  };
+
+  const unsigned window = std::min(opts.depth, batches);
+  for (unsigned b = 0; b < window; ++b) launch(b);
+
+  std::exception_ptr first_error;
+  for (unsigned b = 0; b < batches; ++b) {
+    InFlight& fl = flight[b];
+    fl.th.join();
+    field_counters() += fl.ops;
+    if (fl.error && !first_error) first_error = fl.error;
+    result.batches[b] = std::move(fl.outcome);
+    result.seed_coins_used += result.batches[b].seed_coins_used;
+    if (!fl.subpool.empty()) {
+      pool.add_batch(fl.subpool.take_batch(fl.subpool.remaining()));
+    }
+    const unsigned next = b + window;
+    if (next < batches) launch(next);
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return result;
+}
+
+}  // namespace dprbg

@@ -57,7 +57,8 @@ bool Tracer::write_jsonl_file(const std::string& path) const {
 }
 
 void trace_point(std::string_view protocol, std::string_view phase,
-                 int player, std::uint64_t round, std::string detail) {
+                 int player, std::uint64_t round, std::string detail,
+                 std::uint32_t batch) {
   Tracer& t = tracer();
   if (!t.enabled()) return;
   TraceEvent ev;
@@ -65,6 +66,7 @@ void trace_point(std::string_view protocol, std::string_view phase,
   ev.protocol.assign(protocol);
   ev.phase.assign(phase);
   ev.player = player;
+  ev.batch = batch;
   ev.round_begin = ev.round_end = round;
   ev.detail = std::move(detail);
   t.record(std::move(ev));
@@ -123,6 +125,7 @@ std::string to_jsonl(const TraceEvent& ev) {
   out += "\",\"player\":";
   out += std::to_string(ev.player);
   out += ',';
+  append_kv(out, "batch", ev.batch);
   append_kv(out, "r0", ev.round_begin);
   append_kv(out, "r1", ev.round_end);
   append_kv(out, "adds", ev.ops.adds);
@@ -253,6 +256,7 @@ bool from_jsonl(std::string_view line, TraceEvent& ev) {
     } else if (key == "proto") ev.protocol = sval;
     else if (key == "phase") ev.phase = sval;
     else if (key == "player") ev.player = static_cast<int>(static_cast<std::int64_t>(nval));
+    else if (key == "batch") ev.batch = static_cast<std::uint32_t>(nval);
     else if (key == "r0") ev.round_begin = nval;
     else if (key == "r1") ev.round_end = nval;
     else if (key == "adds") ev.ops.adds = nval;

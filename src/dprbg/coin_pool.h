@@ -10,6 +10,8 @@
 
 #include <cstddef>
 #include <deque>
+#include <iterator>
+#include <vector>
 
 #include "common/check.h"
 #include "gf/field_concept.h"
@@ -54,6 +56,31 @@ class CoinPool {
     coins_.pop_front();
     ++consumed_;
     return c;
+  }
+
+  // Pops the next m coins at once (front first). Equivalent to m take()
+  // calls — consumed() advances by m — but a single bulk splice. The
+  // pipelined refill loop uses this to charge each in-flight Coin-Gen
+  // batch its seed-coin budget up front, which keeps the pool index /
+  // instance-id alignment identical across honest players no matter how
+  // the batches interleave in wall-clock.
+  std::vector<SealedCoin<F>> take_batch(std::size_t m) {
+    DPRBG_CHECK(m <= coins_.size());
+    std::vector<SealedCoin<F>> out;
+    out.reserve(m);
+    const auto end = coins_.begin() + static_cast<std::ptrdiff_t>(m);
+    out.assign(std::make_move_iterator(coins_.begin()),
+               std::make_move_iterator(end));
+    coins_.erase(coins_.begin(), end);
+    consumed_ += m;
+    return out;
+  }
+
+  // Appends a run of coins in order (the bulk form of add()); used to
+  // return a batch's unspent seed coins and to bank freshly generated
+  // ones.
+  void add_batch(std::vector<SealedCoin<F>> fresh) {
+    for (auto& c : fresh) coins_.push_back(std::move(c));
   }
 
  private:

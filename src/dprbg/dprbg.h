@@ -20,6 +20,8 @@
 
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -28,6 +30,7 @@
 #include "net/cluster.h"
 #include "coin/coin_expose.h"
 #include "coin/coin_gen.h"
+#include "coin/coin_pipeline.h"
 #include "coin/sealed_coin.h"
 #include "dprbg/coin_pool.h"
 #include "dprbg/proactive.h"
@@ -46,6 +49,16 @@ class DPrbg {
     unsigned reserve = 6;
     // Leader-draw budget per Coin-Gen run.
     unsigned max_iterations = 16;
+    // Refill pipelining: how many Coin-Gen batches a refill keeps in
+    // flight (coin/coin_pipeline.h). 1 (the default) is the serial
+    // pre-pipeline behavior, bit-for-bit. Depths > 1 run each batch on
+    // its own round stream and overlap their rounds; every refill uses a
+    // fresh block of stream ids, so stale delayed traffic from an old
+    // refill can never alias a live stream.
+    unsigned pipeline_depth = 1;
+    // Seed-coin charge per pipelined batch beyond the challenge (see
+    // PipelineOptions::leader_coins). Unused in serial mode.
+    unsigned leader_coins = 3;
   };
 
   DPrbg(Options opts, std::vector<SealedCoin<F>> genesis_coins)
@@ -136,14 +149,43 @@ class DPrbg {
   // new coins", Section 1.2). Returns false when refilling failed and the
   // pool cannot serve the request.
   bool maybe_refill(PartyIo& io) {
-    while (pool_.remaining() <= opts_.reserve) {
-      auto gen = coin_gen<F>(io, opts_.batch_size, pool_,
-                             opts_.max_iterations);
+    if (opts_.pipeline_depth <= 1) {
+      while (pool_.remaining() <= opts_.reserve) {
+        auto gen = coin_gen<F>(io, opts_.batch_size, pool_,
+                               opts_.max_iterations);
+        seed_spent_ += gen.seed_coins_used;
+        if (!gen.success) return pool_.remaining() > 0;
+        ++refills_;
+        for (auto& c : gen.sealed_coins(static_cast<unsigned>(io.t()))) {
+          pool_.add(std::move(c));
+        }
+      }
+      return true;
+    }
+    // Pipelined refill: one full window of overlapped batches per pass.
+    // The trigger threshold grows to cover charging the whole window's
+    // seed coins up front (short-charged batches would fail and waste a
+    // pass). Every pass consumes a fresh block of stream ids — ids are
+    // never reused, so an envelope delayed from an old pass can only ever
+    // be rejected by the demux, not surface in a live batch.
+    const std::size_t reserve_eff = std::max<std::size_t>(
+        opts_.reserve,
+        std::size_t{opts_.pipeline_depth} * (1 + opts_.leader_coins));
+    while (pool_.remaining() <= reserve_eff) {
+      PipelineOptions popts;
+      popts.depth = opts_.pipeline_depth;
+      popts.first_batch_id = next_batch_id_;
+      popts.leader_coins = opts_.leader_coins;
+      popts.max_iterations = opts_.max_iterations;
+      next_batch_id_ += opts_.pipeline_depth;
+      auto gen = pipelined_coin_gen<F>(io, opts_.batch_size, pool_,
+                                       opts_.pipeline_depth, popts);
       seed_spent_ += gen.seed_coins_used;
-      if (!gen.success) return pool_.remaining() > 0;
-      ++refills_;
-      for (auto& c : gen.sealed_coins(static_cast<unsigned>(io.t()))) {
-        pool_.add(std::move(c));
+      if (gen.successes() == 0) return pool_.remaining() > 0;
+      for (const auto& batch : gen.batches) {
+        if (!batch.success) continue;
+        ++refills_;
+        pool_.add_batch(batch.sealed_coins(static_cast<unsigned>(io.t())));
       }
     }
     return true;
@@ -157,6 +199,9 @@ class DPrbg {
   std::uint64_t bit_cache_ = 0;
   unsigned cached_bits_ = 0;
   std::uint64_t refreshes_ = 0;
+  // Next unused round-stream id for pipelined refills (stream 0 is the
+  // root stream; ids advance monotonically and are never reused).
+  std::uint32_t next_batch_id_ = 1;
 };
 
 }  // namespace dprbg

@@ -21,6 +21,7 @@ std::vector<std::uint32_t> prime_factors(std::uint32_t n) {
 
 Zq::Zq(std::uint32_t q) : q_(q) {
   DPRBG_CHECK(is_prime(q));
+  barrett_ = ~std::uint64_t{0} / q;  // floor((2^64 - 1) / q)
   if (q <= kTableLimit) {
     mul_table_.resize(std::size_t{q} * q);
     for (std::uint32_t a = 0; a < q; ++a) {
@@ -35,11 +36,12 @@ Zq::Zq(std::uint32_t q) : q_(q) {
 }
 
 std::uint32_t Zq::pow(std::uint32_t a, std::uint64_t e) const {
+  // Square-and-multiply over the Barrett-reduced product.
   std::uint64_t result = 1;
   std::uint64_t base = a % q_;
   while (e != 0) {
-    if (e & 1u) result = result * base % q_;
-    base = base * base % q_;
+    if (e & 1u) result = reduce(result * base);
+    base = reduce(base * base);
     e >>= 1;
   }
   return static_cast<std::uint32_t>(result);

@@ -34,7 +34,7 @@ class Zq {
   }
   [[nodiscard]] std::uint32_t mul(std::uint32_t a, std::uint32_t b) const {
     if (!mul_table_.empty()) return mul_table_[std::size_t{a} * q_ + b];
-    return static_cast<std::uint32_t>((std::uint64_t{a} * b) % q_);
+    return reduce(std::uint64_t{a} * b);
   }
   [[nodiscard]] std::uint32_t inv(std::uint32_t a) const {
     DPRBG_CHECK(a != 0);
@@ -53,7 +53,26 @@ class Zq {
   static bool is_prime(std::uint32_t n);
 
  private:
+  // Barrett reduction of p < 2^64 modulo q on the non-tabulated hot path
+  // (NTT butterflies call mul() in a tight loop): with the precomputed
+  // reciprocal m = floor((2^64-1) / q), q_hat = mulhi64(p, m) satisfies
+  // floor(p/q) - 1 <= q_hat <= floor(p/q), so r = p - q_hat*q < 2q and
+  // one conditional subtract finishes — no hardware divide, for every
+  // q >= 1.
+  [[nodiscard]] std::uint32_t reduce(std::uint64_t p) const {
+#ifdef __SIZEOF_INT128__
+    const std::uint64_t q_hat = static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(p) * barrett_) >> 64);
+    std::uint64_t r = p - q_hat * q_;
+    if (r >= q_) r -= q_;
+    return static_cast<std::uint32_t>(r);
+#else
+    return static_cast<std::uint32_t>(p % q_);
+#endif
+  }
+
   std::uint32_t q_;
+  std::uint64_t barrett_ = 0;             // floor(2^64 / q)
   std::vector<std::uint32_t> mul_table_;  // q*q entries when q <= kTableLimit
   std::vector<std::uint32_t> inv_table_;  // q entries when tabulated
 

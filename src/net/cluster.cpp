@@ -1,6 +1,7 @@
 #include "net/cluster.h"
 
 #include <algorithm>
+#include <chrono>
 #include <string>
 #include <thread>
 
@@ -11,14 +12,21 @@ namespace dprbg {
 
 namespace {
 
-// Approximate wire overhead per message (sender id + tag + length), used
-// for byte accounting only.
-constexpr std::uint64_t kHeaderBytes = 12;
+// Approximate wire overhead per message (sender id + tag + batch id +
+// length), used for byte accounting only. The batch id is a uint16 on
+// the wire: stream ids are dense small integers (one per in-flight
+// Coin-Gen batch), and 64k concurrent batches is far beyond any window.
+constexpr std::uint64_t kHeaderBytes = 14;
 
 }  // namespace
 
 int PartyIo::n() const { return cluster_.n(); }
 int PartyIo::t() const { return cluster_.t(); }
+
+PartyIo& PartyIo::instance(std::uint32_t batch) {
+  if (batch == 0 || batch == stream_) return *this;
+  return cluster_.instance_io(id_, batch);
+}
 
 void PartyIo::send(int to, std::uint32_t tag,
                    std::vector<std::uint8_t> body) {
@@ -32,6 +40,7 @@ void PartyIo::send(int to, std::uint32_t tag,
       ev.protocol = "net";
       ev.phase = "send";
       ev.player = id_;
+      ev.batch = stream_;
       ev.round_begin = ev.round_end = sent_.rounds;
       ev.comm.messages = 1;
       ev.comm.bytes = body.size() + kHeaderBytes;
@@ -40,7 +49,12 @@ void PartyIo::send(int to, std::uint32_t tag,
       tracer().record(std::move(ev));
     }
   }
-  staged_.push_back(Envelope{to, Msg{id_, tag, std::move(body)}});
+  Msg msg;
+  msg.from = id_;
+  msg.tag = tag;
+  msg.batch = stream_;
+  msg.body = std::move(body);
+  staged_.push_back(Envelope{to, std::move(msg)});
 }
 
 void PartyIo::send_all(std::uint32_t tag,
@@ -51,7 +65,7 @@ void PartyIo::send_all(std::uint32_t tag,
 }
 
 const Inbox& PartyIo::sync() {
-  cluster_.arrive_and_exchange();
+  cluster_.arrive_and_exchange(*this);
   ++sent_.rounds;
   return inbox_;
 }
@@ -60,28 +74,69 @@ Cluster::Cluster(int n, int t, std::uint64_t seed)
     : n_(n), t_(t), seed_(seed) {
   DPRBG_CHECK(n >= 1 && t >= 0 && t < n);
   parties_.reserve(n);
+  RoundStream& root = streams_[0];
+  root.id = 0;
+  root.members.assign(n, nullptr);
   for (int i = 0; i < n; ++i) {
-    parties_.push_back(std::unique_ptr<PartyIo>(new PartyIo(*this, i, seed)));
+    parties_.push_back(
+        std::unique_ptr<PartyIo>(new PartyIo(*this, i, seed, 0)));
+    root.members[i] = parties_.back().get();
   }
 }
 
-void Cluster::do_exchange() {
-  // Runs with mu_ held, all active threads quiescent. Collect every staged
-  // envelope, account communication, and deliver sorted inboxes.
+PartyIo& Cluster::instance_io(int player, std::uint32_t batch) {
+  std::lock_guard lk(mu_);
+  const auto key = std::make_pair(player, batch);
+  auto it = instances_.find(key);
+  if (it == instances_.end()) {
+    it = instances_
+             .emplace(key, std::unique_ptr<PartyIo>(
+                               new PartyIo(*this, player, seed_, batch)))
+             .first;
+    RoundStream& st = streams_[batch];
+    st.id = batch;
+    if (st.members.empty()) st.members.assign(n_, nullptr);
+    st.members[player] = it->second.get();
+  }
+  return *it->second;
+}
+
+void Cluster::do_exchange(RoundStream& st) {
+  // Runs with mu_ held, all active threads quiescent on this stream.
+  // Collect every staged envelope of the stream's members, account
+  // communication, and deliver sorted inboxes.
   std::vector<std::vector<Msg>> next(n_);
-  const std::uint64_t round = exchange_index_++;
+  const std::uint64_t round = st.exchange_index++;
   const bool trace_on = tracer().enabled();
   const CommCounters comm_before = comm_;
+  // Demux guard shared by delayed and fresh traffic: an envelope may
+  // only surface in the stream it was sent on. PartyIo stamps
+  // Msg::batch and the delay queue is per-stream, so a mismatch means a
+  // wiring bug — reject (count, don't deliver) rather than misdeliver.
+  auto admit = [&](int to, Msg&& msg) {
+    if (msg.batch != st.id) {
+      ++stale_rejections_;
+      if (trace_on) {
+        trace_point("net", "stale", to, round,
+                    "from=" + std::to_string(msg.from) +
+                        " batch=" + std::to_string(msg.batch),
+                    st.id);
+      }
+      return;
+    }
+    next[to].push_back(std::move(msg));
+  };
   if (injector_ != nullptr) {
     // Delay-fault arrivals merge in ahead of this round's fresh traffic;
     // the (from, tag) stable sort below interleaves them deterministically.
-    const auto due = delayed_.find(round);
-    if (due != delayed_.end()) {
-      for (auto& d : due->second) next[d.to].push_back(std::move(d.msg));
-      delayed_.erase(due);
+    const auto due = st.delayed.find(round);
+    if (due != st.delayed.end()) {
+      for (auto& d : due->second) admit(d.to, std::move(d.msg));
+      st.delayed.erase(due);
     }
   }
-  for (auto& p : parties_) {
+  for (PartyIo* p : st.members) {
+    if (p == nullptr) continue;
     for (auto& env : p->staged_buffer()) {
       if (env.to != env.msg.from) {
         ++comm_.messages;
@@ -92,8 +147,10 @@ void Cluster::do_exchange() {
         const FaultCounters faults_before = faults_;
         const int from = env.msg.from;
         const std::uint32_t tag = env.msg.tag;
-        injector_->route(round, env.to, std::move(env.msg), next[env.to],
-                         delayed_, faults_);
+        std::vector<Msg> routed;
+        injector_->route(round, env.to, std::move(env.msg), routed,
+                         st.delayed, faults_);
+        for (Msg& m : routed) admit(env.to, std::move(m));
         if (trace_on) {
           const FaultCounters delta = faults_ - faults_before;
           if (delta.total() != 0) {
@@ -102,6 +159,7 @@ void Cluster::do_exchange() {
             ev.protocol = "net";
             ev.phase = "fault";
             ev.player = env.to;
+            ev.batch = st.id;
             ev.round_begin = ev.round_end = round;
             ev.faults = delta;
             ev.detail = "from=" + std::to_string(from) +
@@ -110,7 +168,7 @@ void Cluster::do_exchange() {
           }
         }
       } else {
-        next[env.to].push_back(std::move(env.msg));
+        admit(env.to, std::move(env.msg));
       }
     }
     p->staged_buffer().clear();
@@ -123,11 +181,13 @@ void Cluster::do_exchange() {
     ev.protocol = "net";
     ev.phase = "round";
     ev.player = -1;
+    ev.batch = st.id;
     ev.round_begin = ev.round_end = round;
     ev.comm = comm_ - comm_before;
     tracer().record(std::move(ev));
   }
   for (int i = 0; i < n_; ++i) {
+    if (st.members[i] == nullptr) continue;  // never joined this stream
     // Stable by send order; sort by (from, tag) so same-sender same-tag
     // duplicates are adjacent and ordering is deterministic.
     std::stable_sort(next[i].begin(), next[i].end(),
@@ -135,33 +195,56 @@ void Cluster::do_exchange() {
                        return a.from != b.from ? a.from < b.from
                                                : a.tag < b.tag;
                      });
-    parties_[i]->deliver(Inbox{std::move(next[i])});
+    st.members[i]->deliver(Inbox{std::move(next[i])});
   }
 }
 
-void Cluster::arrive_and_exchange() {
-  std::unique_lock lk(mu_);
-  ++waiting_;
-  if (waiting_ == expected_) {
-    do_exchange();
-    waiting_ = 0;
-    ++generation_;
-    cv_.notify_all();
-  } else {
-    const std::uint64_t gen = generation_;
-    cv_.wait(lk, [&] { return generation_ != gen; });
+void Cluster::arrive_and_exchange(PartyIo& party) {
+  {
+    std::unique_lock lk(mu_);
+    RoundStream& st = streams_.at(party.stream_);
+    ++st.waiting;
+    if (st.waiting == expected_) {
+      do_exchange(st);
+      st.waiting = 0;
+      ++st.generation;
+      cv_.notify_all();
+    } else {
+      const std::uint64_t gen = st.generation;
+      cv_.wait(lk, [&] { return st.generation != gen; });
+    }
+  }
+  if (round_latency_us_ != 0) {
+    // One simulated network traversal per round, paid by every member
+    // concurrently (outside the lock, so other streams keep exchanging —
+    // this is what overlapped batches hide).
+    std::this_thread::sleep_for(std::chrono::microseconds(round_latency_us_));
   }
 }
 
 void Cluster::drop() {
   std::unique_lock lk(mu_);
   --expected_;
-  if (expected_ > 0 && waiting_ == expected_) {
-    do_exchange();
-    waiting_ = 0;
-    ++generation_;
-    cv_.notify_all();
+  if (expected_ <= 0) return;
+  // Each blocked thread waits in exactly one stream, so at most one
+  // stream can now satisfy waiting == expected_.
+  for (auto& [sid, st] : streams_) {
+    if (st.waiting > 0 && st.waiting == expected_) {
+      do_exchange(st);
+      st.waiting = 0;
+      ++st.generation;
+      cv_.notify_all();
+      break;
+    }
   }
+}
+
+std::vector<CommCounters> Cluster::per_player_comm() const {
+  std::vector<CommCounters> out;
+  out.reserve(parties_.size());
+  for (const auto& p : parties_) out.push_back(p->sent());
+  for (const auto& [key, io] : instances_) out[key.first] += io->sent();
+  return out;
 }
 
 void Cluster::run(std::vector<Program> programs) {
@@ -169,7 +252,7 @@ void Cluster::run(std::vector<Program> programs) {
   {
     std::unique_lock lk(mu_);
     expected_ = n_;
-    waiting_ = 0;
+    for (auto& [sid, st] : streams_) st.waiting = 0;
   }
   per_player_field_ops_.assign(n_, FieldCounters{});
 

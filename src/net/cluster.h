@@ -1,4 +1,5 @@
-// A synchronous n-player cluster with private channels.
+// A synchronous n-player cluster with private channels and per-batch
+// round streams.
 //
 // Each player runs on its own thread; rounds advance in lockstep through a
 // barrier. Messages sent during round r are delivered (to everyone,
@@ -7,10 +8,24 @@
 // that misbehave; the honest code never trusts anything it receives
 // without validation.
 //
-// Determinism: every player gets an independent ChaCha20 stream derived
-// from (cluster seed, player id), inboxes are sorted by (from, tag, send
-// order), and threads only interact at barriers — a fixed seed replays an
-// identical execution.
+// Round streams: the cluster multiplexes any number of independent
+// lockstep streams over the same player set. Stream 0 is the root stream
+// every program starts on; `PartyIo::instance(batch)` opens (or revisits)
+// a per-(player, batch) handle on stream `batch`, with its own rng,
+// inbox, staging buffer, and round counter. Every envelope carries its
+// stream id on the wire (Msg::batch) and the demux delivers it only to
+// that stream, so a player can be in round r of batch k's exposure while
+// round 1 of batch k+1's Bit-Gen deal is in flight — the pipelined
+// Coin-Gen scheduler (src/coin/coin_pipeline.h) is built on exactly this.
+// A stream's barrier fires when every active player thread is waiting on
+// it; the single-stream case degenerates to the old global barrier
+// bit-for-bit.
+//
+// Determinism: every (player, stream) handle gets an independent ChaCha20
+// stream derived from (cluster seed, stream id, player id) — stream 0
+// reproduces the historical per-player streams exactly — inboxes are
+// sorted by (from, tag, send order), and threads only interact at
+// barriers — a fixed seed replays an identical execution per stream.
 
 #pragma once
 
@@ -18,8 +33,10 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "common/metrics.h"
@@ -31,40 +48,64 @@ namespace dprbg {
 
 class Cluster;
 
-// Per-player handle passed to the player's program. All methods are called
-// only from that player's thread.
+// Per-(player, stream) handle passed to the player's program. All methods
+// are called only from the thread currently driving that stream for that
+// player (the player's root thread, or the worker thread the pipelined
+// scheduler dedicates to the batch).
 class PartyIo {
  public:
   [[nodiscard]] int id() const { return id_; }
   [[nodiscard]] int n() const;
   [[nodiscard]] int t() const;
   [[nodiscard]] Chacha& rng() { return rng_; }
+  // The round stream this handle sends and receives on (0: root).
+  [[nodiscard]] std::uint32_t stream() const { return stream_; }
 
-  // Queue a private message for delivery next round.
+  // The per-(player, batch) handle for round stream `batch`, created on
+  // first use (stable thereafter). `instance(0)` and `instance(stream())`
+  // return this handle itself. Handles share the player's identity but
+  // nothing else: independent rng, inbox, staging, and round counter.
+  PartyIo& instance(std::uint32_t batch);
+
+  // Queue a private message for delivery next round (of this stream).
   void send(int to, std::uint32_t tag, std::vector<std::uint8_t> body);
   // Point-to-point "announce": send the same body to every player
   // (including a free self-delivery). This is NOT a broadcast channel —
   // a Byzantine sender can equivocate by calling send() per receiver.
   void send_all(std::uint32_t tag, const std::vector<std::uint8_t>& body);
 
-  // End the round: block until all players arrive, then receive the
-  // messages sent to this player during the ended round.
+  // End the round: block until all active players arrive on this stream,
+  // then receive the messages sent to this player during the ended round.
   const Inbox& sync();
 
   // Messages delivered at the last sync().
   [[nodiscard]] const Inbox& inbox() const { return inbox_; }
 
-  // Communication this player has staged so far (self-deliveries free);
-  // `sent().rounds` counts this player's completed sync() calls.
+  // Communication this player has staged so far on this stream
+  // (self-deliveries free); `sent().rounds` counts this handle's
+  // completed sync() calls.
   [[nodiscard]] const CommCounters& sent() const { return sent_; }
-  // Rounds this player has completed (== sent().rounds). TraceSpan
+  // Rounds this handle has completed (== sent().rounds). TraceSpan
   // (common/trace.h) uses this to stamp per-phase round ranges.
   [[nodiscard]] std::uint64_t rounds() const { return sent_.rounds; }
 
  private:
   friend class Cluster;
-  PartyIo(Cluster& cluster, int id, std::uint64_t seed)
-      : cluster_(cluster), id_(id), rng_(seed, static_cast<std::uint64_t>(id)) {}
+  PartyIo(Cluster& cluster, int id, std::uint64_t seed, std::uint32_t stream)
+      : cluster_(cluster),
+        id_(id),
+        stream_(stream),
+        rng_(seed, rng_stream(id, stream)) {}
+
+  // Stream 0 keeps the historical per-player ChaCha stream ids (plain
+  // player id) so root-stream transcripts are bit-for-bit unchanged;
+  // batch streams get (batch << 32 | player), disjoint from both the
+  // root ids and the trusted dealer's genesis stream.
+  static std::uint64_t rng_stream(int id, std::uint32_t stream) {
+    if (stream == 0) return static_cast<std::uint64_t>(id);
+    return (static_cast<std::uint64_t>(stream) << 32) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(id));
+  }
 
   struct Envelope {
     int to;
@@ -76,6 +117,7 @@ class PartyIo {
 
   Cluster& cluster_;
   int id_;
+  std::uint32_t stream_;
   Chacha rng_;
   Inbox inbox_;
   std::vector<Envelope> staged_;  // outgoing, merged at the barrier
@@ -107,8 +149,12 @@ class Cluster {
   // net/fault.h for the fault model and replay contract). Pass nullptr to
   // restore perfect links. Must not be called while run() is active; with
   // no injector (or an empty plan) delivery is byte-identical to a
-  // fault-free cluster. Fault rounds are indexed by the cluster's total
-  // exchange count since construction.
+  // fault-free cluster. Fault rounds are indexed by each stream's own
+  // exchange count since construction — for single-stream (root-only)
+  // runs this is the cluster's total exchange count, exactly the old
+  // contract; a pipelined run applies the plan to every stream's round r
+  // independently, which keeps delivery deterministic regardless of how
+  // the streams interleave in wall-clock.
   void set_fault_injector(std::shared_ptr<const FaultInjector> injector) {
     injector_ = std::move(injector);
   }
@@ -119,22 +165,43 @@ class Cluster {
   // injector).
   [[nodiscard]] const FaultCounters& faults() const { return faults_; }
 
-  // Aggregate communication across all players and all run() calls.
-  [[nodiscard]] const CommCounters& comm() const { return comm_; }
-  // Per-player communication staged so far (player i's PartyIo::sent()).
-  // Must not be called while run() is active. For programs that end with
-  // a sync(), the message/byte sums equal comm() exactly; `rounds` is the
-  // player's own sync count (not summed into comm().rounds, which counts
-  // cluster exchanges).
-  [[nodiscard]] std::vector<CommCounters> per_player_comm() const {
-    std::vector<CommCounters> out;
-    out.reserve(parties_.size());
-    for (const auto& p : parties_) out.push_back(p->sent());
-    return out;
+  // Simulated one-way link latency per lockstep exchange, in
+  // microseconds. Zero (the default) reproduces the historical
+  // compute-bound barrier. When nonzero, every thread sleeps this long
+  // after its stream's exchange — transcripts are unaffected (barriers
+  // already fix the order), but wall-clock now charges one network
+  // traversal per round, so overlapped streams genuinely hide round
+  // latency (bench/pipeline measures exactly this).
+  void set_round_latency_us(unsigned us) { round_latency_us_ = us; }
+  [[nodiscard]] unsigned round_latency_us() const {
+    return round_latency_us_;
   }
+
+  // Envelopes whose wire batch id did not match the stream being
+  // exchanged, rejected by the demux instead of delivered. PartyIo
+  // stamps every envelope with its own stream and delay queues are
+  // per-stream, so this must stay 0 — the chaos tests assert it under
+  // stale-tag delay floods (a nonzero count would mean cross-batch
+  // misdelivery).
+  [[nodiscard]] std::uint64_t stale_rejections() const {
+    return stale_rejections_;
+  }
+
+  // Aggregate communication across all players, streams, and run() calls.
+  [[nodiscard]] const CommCounters& comm() const { return comm_; }
+  // Per-player communication staged so far: player i's root handle plus
+  // all of its per-batch instance handles. Must not be called while
+  // run() is active. For programs that end with a sync(), the
+  // message/byte sums equal comm() exactly; `rounds` is the player's own
+  // total sync count across its handles (not summed into comm().rounds,
+  // which counts cluster exchanges).
+  [[nodiscard]] std::vector<CommCounters> per_player_comm() const;
   // Aggregate field-operation counts across all player threads.
   [[nodiscard]] const FieldCounters& field_ops() const { return field_ops_; }
-  // Per-player field-operation counts from the last run().
+  // Per-player field-operation counts from the last run(). Work done on
+  // pipeline worker threads is included as long as the driver folds the
+  // worker deltas back into the root thread before the program returns
+  // (pipelined_coin_gen does).
   [[nodiscard]] const std::vector<FieldCounters>& per_player_field_ops()
       const {
     return per_player_field_ops_;
@@ -143,37 +210,55 @@ class Cluster {
  private:
   friend class PartyIo;
 
-  // Custom barrier with drop support: the last active thread to arrive
-  // performs the message exchange, then releases everyone. A player whose
-  // program returns "drops" — the barrier stops waiting for it, so
-  // crash-faulty or early-returning programs cannot deadlock the round.
-  void arrive_and_exchange();
+  // One independent lockstep round stream. Streams share the cluster's
+  // mutex and cv; each keeps its own barrier generation, exchange
+  // counter, delay queue, and member handles.
+  struct RoundStream {
+    std::uint32_t id = 0;
+    int waiting = 0;
+    std::uint64_t generation = 0;
+    std::uint64_t exchange_index = 0;
+    DelayQueue delayed;
+    // Indexed by player id; nullptr until that player opens its handle
+    // (a crashed player never does — its column is skipped).
+    std::vector<PartyIo*> members;
+  };
+
+  // Custom barrier with drop support: the last active thread to arrive on
+  // a stream performs that stream's message exchange, then releases its
+  // waiters. A player whose program returns "drops" — every stream's
+  // barrier stops waiting for it, so crash-faulty or early-returning
+  // programs cannot deadlock any round.
+  void arrive_and_exchange(PartyIo& party);
   void drop();
-  void do_exchange();  // called with mu_ held by exactly one thread
+  void do_exchange(RoundStream& st);  // called with mu_ held
+
+  // The (player, batch) handle, created on first use (with mu_ taken).
+  PartyIo& instance_io(int player, std::uint32_t batch);
 
   int n_;
   int t_;
   std::uint64_t seed_;
 
-  std::vector<std::unique_ptr<PartyIo>> parties_;
+  std::vector<std::unique_ptr<PartyIo>> parties_;  // root-stream handles
+  std::map<std::pair<int, std::uint32_t>, std::unique_ptr<PartyIo>>
+      instances_;  // per-batch handles, stable for the cluster's lifetime
 
   std::mutex mu_;
   std::condition_variable cv_;
-  int waiting_ = 0;
   int expected_ = 0;  // active (not yet returned) player threads
-  std::uint64_t generation_ = 0;
+  // Keyed by stream id; std::map keeps references stable while new
+  // streams are opened mid-run.
+  std::map<std::uint32_t, RoundStream> streams_;
 
   CommCounters comm_;
   FieldCounters field_ops_;
   std::vector<FieldCounters> per_player_field_ops_;
 
-  // Link-fault injection state (see net/fault.h). `exchange_index_`
-  // counts do_exchange calls since construction and indexes fault plans;
-  // `delayed_` holds kDelay-ed messages until their delivery exchange.
   std::shared_ptr<const FaultInjector> injector_;
-  DelayQueue delayed_;
-  std::uint64_t exchange_index_ = 0;
   FaultCounters faults_;
+  std::uint64_t stale_rejections_ = 0;
+  unsigned round_latency_us_ = 0;
 };
 
 }  // namespace dprbg

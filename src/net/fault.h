@@ -22,9 +22,13 @@
 // fixed (cluster seed, plan seed) replays an identical execution —
 // failing chaos seeds reproduce exactly.
 //
-// Round indexing: `round` counts the cluster's exchanges since
-// construction, starting at 0 — i.e. the exchange that delivers messages
-// staged during the program's first round has index 0.
+// Round indexing: `round` counts the exchanges of the round stream the
+// message was staged on, starting at 0 — i.e. the exchange that delivers
+// a stream's first-round messages has index 0. For root-only runs this
+// is the cluster's total exchange count (the original contract); a
+// pipelined run applies the plan to round r of *every* stream
+// independently, which keeps fault placement deterministic no matter how
+// the streams interleave in wall-clock (see net/cluster.h).
 
 #pragma once
 

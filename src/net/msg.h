@@ -41,6 +41,15 @@ constexpr std::uint32_t make_tag(ProtoId proto, unsigned instance,
 struct Msg {
   int from = -1;
   std::uint32_t tag = 0;
+  // Round-stream (batch/instance) id stamped by the sending PartyIo
+  // handle: 0 is the root lockstep stream, nonzero ids name per-batch
+  // streams opened via PartyIo::instance() (pipelined Coin-Gen). On the
+  // wire this rides in the header as a uint16 alongside sender and tag
+  // (see kHeaderBytes in net/cluster.cpp); the demux delivers an
+  // envelope only to the round stream it was sent on, so traffic from
+  // batch k can never surface in batch k' — even delayed or duplicated
+  // by a link fault.
+  std::uint32_t batch = 0;
   std::vector<std::uint8_t> body;
 };
 

@@ -6,9 +6,23 @@
 // (the common case is reconstructing the secret f(0) from shares). Both
 // bump the `interpolations` metric once, matching the paper's habit of
 // counting "polynomial interpolations" as a unit of work.
+//
+// Hot-path kernels:
+//  * Montgomery's-trick batch inversion turns the n barycentric-weight
+//    inversions into one inv() plus ~3(n-1) multiplications.
+//  * The share x-coordinates are almost always the canonical grid
+//    1..n (sharing/shamir.h's eval_point), so the master polynomial
+//    N(x) = prod (x - x_j) and the inverted weights
+//    w_i = prod_{j != i} (x_i - x_j)^{-1} are computed once per
+//    (field, grid size) and cached thread-locally — every later
+//    VSS/Bit-Gen/expose interpolation on that grid reuses them. Inputs
+//    off the grid (e.g. Berlekamp-Welch over a share subset under
+//    faults) fall back to the generic path.
 
 #pragma once
 
+#include <cstddef>
+#include <map>
 #include <span>
 #include <vector>
 
@@ -25,18 +39,43 @@ struct PointValue {
   F y;
 };
 
-// The unique polynomial of degree < points.size() through the given points
-// (x-coordinates must be distinct).
+namespace interp_detail {
+
+// Montgomery's trick: replaces vals[i] with vals[i]^{-1} for all i using
+// one inv() and 3(n-1) multiplications (prefix products, one inversion
+// of the total, then a backward sweep). All entries must be nonzero.
 template <FiniteField F>
-Polynomial<F> lagrange_interpolate(std::span<const PointValue<F>> points) {
-  count_interpolation();
+void batch_invert(std::vector<F>& vals) {
+  const std::size_t n = vals.size();
+  if (n == 0) return;
+  std::vector<F> prefix(n);
+  F acc = F::one();
+  for (std::size_t i = 0; i < n; ++i) {
+    prefix[i] = acc;
+    acc = acc * vals[i];
+  }
+  F inv_acc = acc.inv();
+  for (std::size_t i = n; i-- > 0;) {
+    const F v = vals[i];
+    vals[i] = inv_acc * prefix[i];
+    inv_acc = inv_acc * v;
+  }
+}
+
+// Cached barycentric data for the canonical grid x = 1..n: the master
+// polynomial's coefficients and the pre-inverted weights.
+template <FiniteField F>
+struct GridData {
+  std::vector<F> master;   // n+1 coefficients of prod_j (x - x_j)
+  std::vector<F> weights;  // w_i = prod_{j != i} (x_i - x_j)^{-1}
+};
+
+// Builds N(x) = prod_j (x - x_j) in place (master must hold n+1 zeros on
+// entry; on exit master[k] is the coefficient of x^k).
+template <FiniteField F>
+void build_master(std::span<const PointValue<F>> points,
+                  std::vector<F>& master) {
   const std::size_t n = points.size();
-  DPRBG_CHECK(n > 0);
-  // Sum of y_i * prod_{j != i} (x - x_j) / (x_i - x_j), built with O(n^2)
-  // coefficient arithmetic via the "master" product trick:
-  //   N(x) = prod_j (x - x_j);  L_i(x) = N(x) / (x - x_i) * w_i,
-  // where w_i = prod_{j != i} (x_i - x_j)^{-1} (barycentric weights).
-  std::vector<F> master(n + 1, F::zero());
   master[0] = F::one();
   std::size_t deg = 0;
   for (std::size_t j = 0; j < n; ++j) {
@@ -48,19 +87,83 @@ Polynomial<F> lagrange_interpolate(std::span<const PointValue<F>> points) {
     master[deg + 1] = F::one();
     ++deg;
   }
+}
+
+// Denominators d_i = prod_{j != i} (x_i - x_j), inverted in one batch.
+template <FiniteField F>
+std::vector<F> inverted_weights(std::span<const PointValue<F>> points) {
+  const std::size_t n = points.size();
+  std::vector<F> w(n, F::one());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) w[i] = w[i] * (points[i].x - points[j].x);
+    }
+  }
+  batch_invert(w);
+  return w;
+}
+
+// The cached grid data when `points`' x-coordinates are exactly
+// 1, 2, ..., n (the Shamir evaluation grid); nullptr otherwise. The
+// cache is thread-local (player threads are born per run, so a run's
+// op counts stay deterministic) and the one-time build cost is charged
+// to the first interpolation that needs the size.
+template <FiniteField F>
+const GridData<F>* grid_lookup(std::span<const PointValue<F>> points) {
+  const std::size_t n = points.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(points[i].x == F::from_uint(i + 1))) return nullptr;
+  }
+  thread_local std::map<std::size_t, GridData<F>> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    GridData<F> data;
+    data.master.assign(n + 1, F::zero());
+    build_master(points, data.master);
+    data.weights = inverted_weights(points);
+    it = cache.emplace(n, std::move(data)).first;
+  }
+  return &it->second;
+}
+
+}  // namespace interp_detail
+
+// The unique polynomial of degree < points.size() through the given points
+// (x-coordinates must be distinct).
+template <FiniteField F>
+Polynomial<F> lagrange_interpolate(std::span<const PointValue<F>> points) {
+  count_interpolation();
+  const std::size_t n = points.size();
+  DPRBG_CHECK(n > 0);
+  // Sum of y_i * prod_{j != i} (x - x_j) / (x_i - x_j), built with O(n^2)
+  // coefficient arithmetic via the "master" product trick:
+  //   N(x) = prod_j (x - x_j);  L_i(x) = N(x) / (x - x_i) * w_i,
+  // where w_i = prod_{j != i} (x_i - x_j)^{-1} (barycentric weights).
+  const interp_detail::GridData<F>* grid =
+      interp_detail::grid_lookup<F>(points);
+  std::vector<F> master_local;
+  std::vector<F> weights_local;
+  const std::vector<F>* master = nullptr;
+  const std::vector<F>* weights = nullptr;
+  if (grid != nullptr) {
+    master = &grid->master;
+    weights = &grid->weights;
+  } else {
+    master_local.assign(n + 1, F::zero());
+    interp_detail::build_master(points, master_local);
+    weights_local = interp_detail::inverted_weights(points);
+    master = &master_local;
+    weights = &weights_local;
+  }
   std::vector<F> result(n, F::zero());
   std::vector<F> quotient(n, F::zero());
   for (std::size_t i = 0; i < n; ++i) {
-    F w = F::one();
-    for (std::size_t j = 0; j < n; ++j) {
-      if (j != i) w = w * (points[i].x - points[j].x);
-    }
-    const F scale = points[i].y * w.inv();
+    const F scale = points[i].y * (*weights)[i];
     // Synthetic division: quotient = master / (x - x_i).
-    F carry = master[n];
+    F carry = (*master)[n];
     for (std::size_t k = n; k-- > 0;) {
       quotient[k] = carry;
-      carry = master[k] + carry * points[i].x;
+      carry = (*master)[k] + carry * points[i].x;
     }
     // carry is now the remainder master(x_i) = 0 (distinct x's).
     for (std::size_t k = 0; k < n; ++k) {
@@ -71,23 +174,43 @@ Polynomial<F> lagrange_interpolate(std::span<const PointValue<F>> points) {
 }
 
 // Evaluate the interpolating polynomial at `target` without materializing
-// it: sum of y_i * prod_{j != i} (target - x_j)/(x_i - x_j).
+// it: sum of y_i * prod_{j != i} (target - x_j)/(x_i - x_j). The
+// numerators come from prefix/suffix products (O(n) multiplications, no
+// divisions); the denominators from the cached grid weights or one batch
+// inversion.
 template <FiniteField F>
 F interpolate_at(std::span<const PointValue<F>> points, F target) {
   count_interpolation();
-  DPRBG_CHECK(!points.empty());
-  F acc = F::zero();
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    F num = F::one();
-    F den = F::one();
-    for (std::size_t j = 0; j < points.size(); ++j) {
-      if (j == i) continue;
-      num = num * (target - points[j].x);
-      den = den * (points[i].x - points[j].x);
-    }
-    acc = acc + points[i].y * num * den.inv();
+  const std::size_t n = points.size();
+  DPRBG_CHECK(n > 0);
+  const interp_detail::GridData<F>* grid =
+      interp_detail::grid_lookup<F>(points);
+  std::vector<F> weights_local;
+  const std::vector<F>* weights = nullptr;
+  if (grid != nullptr) {
+    weights = &grid->weights;
+  } else {
+    weights_local = interp_detail::inverted_weights(points);
+    weights = &weights_local;
   }
-  return acc;
+  // num_i = prod_{j != i} (target - x_j) = prefix_i * suffix_i. Handles
+  // target == x_j too: every other numerator contains the zero factor.
+  std::vector<F> num(n, F::one());
+  F acc = F::one();
+  for (std::size_t i = 0; i < n; ++i) {
+    num[i] = acc;
+    acc = acc * (target - points[i].x);
+  }
+  acc = F::one();
+  for (std::size_t i = n; i-- > 0;) {
+    num[i] = num[i] * acc;
+    acc = acc * (target - points[i].x);
+  }
+  F sum = F::zero();
+  for (std::size_t i = 0; i < n; ++i) {
+    sum = sum + points[i].y * num[i] * (*weights)[i];
+  }
+  return sum;
 }
 
 // Checks whether the given points lie on a single polynomial of degree at

@@ -139,7 +139,7 @@ BatchVssOutcome<F> batch_vss(
   const auto decoded = berlekamp_welch<F>(points, t, max_errors);
   if (!decoded) {
     trace_point("batch-vss", "decode-fail", io.id(), io.rounds(),
-                "berlekamp-welch failed");
+                "berlekamp-welch failed", io.stream());
     return out;
   }
   unsigned agreements = 0;

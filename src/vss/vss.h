@@ -141,7 +141,7 @@ VssOutcome<F> vss_share_and_verify(
     const auto decoded = berlekamp_welch<F>(points, t, max_errors);
     if (!decoded) {
       trace_point("vss", "decode-fail", io.id(), io.rounds(),
-                  "berlekamp-welch failed");
+                  "berlekamp-welch failed", io.stream());
       return out;
     }
     // Require the decoded polynomial to explain >= n - t announcements.

@@ -47,6 +47,73 @@ TEST(CoinPoolTest, ConsumedCounterMonotone) {
   EXPECT_TRUE(pool.empty());
 }
 
+TEST(CoinPoolTest, TakeBatchEquivalentToRepeatedTake) {
+  CoinPool<F> a;
+  CoinPool<F> b;
+  for (std::uint64_t v = 0; v < 8; ++v) {
+    a.add(SealedCoin<F>{F::from_uint(v), 2});
+    b.add(SealedCoin<F>{F::from_uint(v), 2});
+  }
+  const auto bulk = a.take_batch(5);
+  ASSERT_EQ(bulk.size(), 5u);
+  for (std::uint64_t v = 0; v < 5; ++v) {
+    EXPECT_EQ(bulk[v].share->to_uint(), v);
+    EXPECT_EQ(b.take().share->to_uint(), v);
+  }
+  EXPECT_EQ(a.remaining(), b.remaining());
+  EXPECT_EQ(a.consumed(), b.consumed());
+  EXPECT_EQ(a.consumed(), 5u);
+  // The survivors are the same in both pools, in the same order.
+  while (!a.empty()) {
+    EXPECT_EQ(a.take().share->to_uint(), b.take().share->to_uint());
+  }
+}
+
+TEST(CoinPoolTest, TakeBatchWholePoolAndEmpty) {
+  CoinPool<F> pool;
+  EXPECT_TRUE(pool.take_batch(0).empty());
+  pool.add(SealedCoin<F>{F::one(), 1});
+  pool.add(SealedCoin<F>{F::zero(), 1});
+  const auto all = pool.take_batch(2);
+  EXPECT_EQ(all.size(), 2u);
+  EXPECT_TRUE(pool.empty());
+  EXPECT_EQ(pool.consumed(), 2u);
+}
+
+TEST(CoinPoolTest, AddBatchAppendsInOrder) {
+  CoinPool<F> pool;
+  pool.add(SealedCoin<F>{F::from_uint(100), 1});
+  std::vector<SealedCoin<F>> fresh;
+  for (std::uint64_t v = 0; v < 3; ++v) {
+    fresh.push_back(SealedCoin<F>{F::from_uint(v), 1});
+  }
+  pool.add_batch(std::move(fresh));
+  EXPECT_EQ(pool.remaining(), 4u);
+  EXPECT_EQ(pool.take().share->to_uint(), 100u);
+  for (std::uint64_t v = 0; v < 3; ++v) {
+    EXPECT_EQ(pool.take().share->to_uint(), v);
+  }
+}
+
+TEST(CoinPoolTest, TakeBatchThenReturnKeepsConsumedAligned) {
+  // The pipelined driver charges a batch up front and returns unspent
+  // coins; consumed() must keep advancing monotonically (it doubles as
+  // the cross-player Coin-Expose instance id and may never rewind).
+  CoinPool<F> pool;
+  for (std::uint64_t v = 0; v < 6; ++v) {
+    pool.add(SealedCoin<F>{F::from_uint(v), 1});
+  }
+  auto charge = pool.take_batch(4);
+  EXPECT_EQ(pool.consumed(), 4u);
+  // Two coins spent; return the rest.
+  charge.erase(charge.begin(), charge.begin() + 2);
+  pool.add_batch(std::move(charge));
+  EXPECT_EQ(pool.remaining(), 4u);
+  EXPECT_EQ(pool.consumed(), 4u);
+  EXPECT_EQ(pool.take().share->to_uint(), 4u);  // original tail first
+  EXPECT_EQ(pool.consumed(), 5u);
+}
+
 TEST(TrustedDealerTest, SharesLieOnDegreeTPolynomial) {
   const int n = 9;
   const unsigned t = 2;

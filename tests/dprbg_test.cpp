@@ -174,5 +174,44 @@ TEST(DprbgTest, ReplayIsDeterministic) {
   }
 }
 
+TEST(DprbgTest, PipelinedRefillStreamIsUnanimous) {
+  // pipeline_depth = 2 routes refills through pipelined_coin_gen
+  // (coin/coin_pipeline.h): each pass overlaps two batches on distinct
+  // round streams. The drawn stream must stay unanimous and the
+  // generator must still out-produce its genesis supply.
+  const int n = 7, t = 1, draws = 40;
+  DPrbg<F>::Options opts;
+  opts.batch_size = 8;
+  opts.reserve = 4;
+  opts.pipeline_depth = 2;
+  const auto run = run_prbg(n, t, 7, draws, opts, /*genesis=*/16);
+  for (int d = 0; d < draws; ++d) {
+    ASSERT_TRUE(run.streams[0][d].has_value()) << "draw " << d;
+    for (int i = 1; i < n; ++i) {
+      ASSERT_TRUE(run.streams[i][d].has_value());
+      EXPECT_EQ(*run.streams[i][d], *run.streams[0][d])
+          << "player " << i << " draw " << d;
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    EXPECT_GE(run.refills[i], 2u) << "player " << i;  // 2 batches/pass
+    EXPECT_EQ(run.refills[i], run.refills[0]);
+    EXPECT_EQ(run.seed_spent[i], run.seed_spent[0]);
+  }
+}
+
+TEST(DprbgTest, PipelinedReplayIsDeterministic) {
+  DPrbg<F>::Options opts;
+  opts.batch_size = 8;
+  opts.reserve = 3;
+  opts.pipeline_depth = 2;
+  const auto a = run_prbg(7, 1, 50, 20, opts, 16);
+  const auto b = run_prbg(7, 1, 50, 20, opts, 16);
+  for (int d = 0; d < 20; ++d) {
+    ASSERT_TRUE(a.streams[0][d].has_value());
+    EXPECT_EQ(*a.streams[0][d], *b.streams[0][d]);
+  }
+}
+
 }  // namespace
 }  // namespace dprbg

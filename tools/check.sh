@@ -24,6 +24,20 @@ echo "=== [check] tier-1: ctest ==="
 echo "=== [check] cost-regression budgets (trace_budget_test) ==="
 ./build/tests/trace_budget_test
 
+echo "=== [check] pipelined Coin-Gen smoke (bench/pipeline) ==="
+# Smoke run of E16: depth 1 must match the serial loop bit-for-bit
+# ("serial_match": "yes") and no envelope may cross batches (stale 0).
+pipeline_out="$(./build/bench/pipeline --json --smoke)"
+echo "$pipeline_out"
+echo "$pipeline_out" | grep -q '"serial_match": "yes"' || {
+  echo "check.sh: pipeline depth-1 diverged from the serial loop" >&2
+  exit 1
+}
+if echo "$pipeline_out" | grep '"stale"' | grep -qv '"stale": 0'; then
+  echo "check.sh: pipeline reported cross-batch stale deliveries" >&2
+  exit 1
+fi
+
 if [[ "$mode" == "full" ]]; then
   echo "=== [check] sanitizer matrix ==="
   tools/sanitize.sh all

@@ -141,6 +141,20 @@ std::string sdelta(std::uint64_t from, std::uint64_t to) {
   return d > 0 ? "+" + std::to_string(d) : std::to_string(d);
 }
 
+// The paper result each traced protocol's costs implement (the mapping of
+// DESIGN.md §Observability, "phase <-> paper" table). A regressed phase
+// is annotated with its lemma so the CI failure names the claim at risk.
+std::string lemma_for(const std::string& protocol) {
+  if (protocol == "vss") return "Fig. 2, Lemma 2";
+  if (protocol == "batch-vss") return "Fig. 3, Lemma 4";
+  if (protocol == "bitgen") return "Fig. 4, Lemma 6";
+  if (protocol == "coin-gen") return "Fig. 5, Lemma 8";
+  if (protocol == "coin-expose") return "Fig. 6, §5";
+  if (protocol == "gradecast") return "[14] Grade-Cast";
+  if (protocol == "phase-king") return "Phase-King BA";
+  return "";
+}
+
 int print_diff(const std::vector<TraceEvent>& old_events,
                const std::vector<TraceEvent>& new_events) {
   const auto old_phases = aggregate_phases(old_events);
@@ -154,21 +168,32 @@ int print_diff(const std::vector<TraceEvent>& old_events,
   };
 
   bench::Table table({"protocol", "phase", "d.rounds", "d.adds", "d.muls",
-                      "d.interps", "d.msgs", "d.bytes"});
+                      "d.interps", "d.msgs", "d.bytes", "lemma"});
   bool regressed = false;
+  std::vector<std::string> at_risk;  // lemmas of regressed phases, deduped
+  auto flag = [&](const std::string& protocol) {
+    regressed = true;
+    const std::string lemma = lemma_for(protocol);
+    if (lemma.empty()) return std::string();
+    bool seen = false;
+    for (const auto& l : at_risk) seen = seen || l == lemma;
+    if (!seen) at_risk.push_back(lemma);
+    return lemma;
+  };
   auto check = [&](const PhaseCost& a, const PhaseCost& b) {
+    std::string lemma;
     if (b.rounds != a.rounds || b.ops.adds > a.ops.adds ||
         b.ops.muls > a.ops.muls ||
         b.ops.interpolations > a.ops.interpolations ||
         b.comm.messages > a.comm.messages || b.comm.bytes > a.comm.bytes) {
-      regressed = true;
+      lemma = flag(a.protocol);
     }
     table.row({a.protocol, a.phase, sdelta(a.rounds, b.rounds),
                sdelta(a.ops.adds, b.ops.adds),
                sdelta(a.ops.muls, b.ops.muls),
                sdelta(a.ops.interpolations, b.ops.interpolations),
                sdelta(a.comm.messages, b.comm.messages),
-               sdelta(a.comm.bytes, b.comm.bytes)});
+               sdelta(a.comm.bytes, b.comm.bytes), lemma});
   };
   for (const auto& a : old_phases) {
     if (const PhaseCost* b = find(new_phases, a)) {
@@ -179,14 +204,23 @@ int print_diff(const std::vector<TraceEvent>& old_events,
   }
   for (const auto& b : new_phases) {
     if (find(old_phases, b) == nullptr) {
-      table.row({b.protocol, b.phase, "(new)"});
-      regressed = true;
+      table.row(
+          {b.protocol, b.phase, "(new)", "", "", "", "", "", flag(b.protocol)});
     }
   }
   table.print();
-  std::printf("\n%s\n", regressed
-                            ? "REGRESSION: rounds changed or a cost grew"
-                            : "no cost regressions");
+  if (regressed) {
+    std::string lemmas;
+    for (const auto& l : at_risk) {
+      if (!lemmas.empty()) lemmas += "; ";
+      lemmas += l;
+    }
+    std::printf("\nREGRESSION: rounds changed or a cost grew%s%s\n",
+                lemmas.empty() ? "" : " — claims at risk: ",
+                lemmas.c_str());
+  } else {
+    std::printf("\nno cost regressions\n");
+  }
   return regressed ? 1 : 0;
 }
 
