@@ -72,7 +72,7 @@ class Zq {
   }
 
   std::uint32_t q_;
-  std::uint64_t barrett_ = 0;             // floor(2^64 / q)
+  std::uint64_t barrett_ = 0;             // floor((2^64 - 1) / q)
   std::vector<std::uint32_t> mul_table_;  // q*q entries when q <= kTableLimit
   std::vector<std::uint32_t> inv_table_;  // q entries when tabulated
 

@@ -14,8 +14,8 @@ namespace {
 
 // Approximate wire overhead per message (sender id + tag + batch id +
 // length), used for byte accounting only. The batch id is a uint16 on
-// the wire: stream ids are dense small integers (one per in-flight
-// Coin-Gen batch), and 64k concurrent batches is far beyond any window.
+// the wire; ids grow monotonically without reuse, so the bound is
+// enforced (DPRBG_CHECK in instance_io) rather than assumed.
 constexpr std::uint64_t kHeaderBytes = 14;
 
 }  // namespace
@@ -85,6 +85,13 @@ Cluster::Cluster(int n, int t, std::uint64_t seed)
 }
 
 PartyIo& Cluster::instance_io(int player, std::uint32_t batch) {
+  // The wire header encodes the stream id as a uint16 (kHeaderBytes
+  // above); every nonzero-stream envelope is staged via a handle created
+  // here, so checking at this choke point enforces the claim for all
+  // traffic. Batch ids grow monotonically without reuse (DPrbg never
+  // recycles them), so a long-running instance hits this loudly instead
+  // of silently breaking the byte accounting.
+  DPRBG_CHECK(batch <= 0xFFFF);
   std::lock_guard lk(mu_);
   const auto key = std::make_pair(player, batch);
   auto it = instances_.find(key);
@@ -226,17 +233,23 @@ void Cluster::drop() {
   std::unique_lock lk(mu_);
   --expected_;
   if (expected_ <= 0) return;
-  // Each blocked thread waits in exactly one stream, so at most one
-  // stream can now satisfy waiting == expected_.
+  // A stream's waiting counts worker threads, not players, so several
+  // batch streams can simultaneously sit at waiting == expected_ when a
+  // player drops mid-pipeline (e.g. a crashed player never opens its
+  // per-batch handles and every in-flight stream is parked at n-1
+  // waiters). Fire them all: each fired stream's waiting resets to 0 and
+  // its waiters cannot re-arrive while mu_ is held, so one pass
+  // suffices.
+  bool fired = false;
   for (auto& [sid, st] : streams_) {
     if (st.waiting > 0 && st.waiting == expected_) {
       do_exchange(st);
       st.waiting = 0;
       ++st.generation;
-      cv_.notify_all();
-      break;
+      fired = true;
     }
   }
+  if (fired) cv_.notify_all();
 }
 
 std::vector<CommCounters> Cluster::per_player_comm() const {

@@ -45,10 +45,12 @@ struct Msg {
   // handle: 0 is the root lockstep stream, nonzero ids name per-batch
   // streams opened via PartyIo::instance() (pipelined Coin-Gen). On the
   // wire this rides in the header as a uint16 alongside sender and tag
-  // (see kHeaderBytes in net/cluster.cpp); the demux delivers an
-  // envelope only to the round stream it was sent on, so traffic from
-  // batch k can never surface in batch k' — even delayed or duplicated
-  // by a link fault.
+  // (see kHeaderBytes in net/cluster.cpp) — enforced by a
+  // DPRBG_CHECK(batch <= 0xFFFF) where stream handles are created, since
+  // batch ids grow monotonically and are never reused. The demux
+  // delivers an envelope only to the round stream it was sent on, so
+  // traffic from batch k can never surface in batch k' — even delayed or
+  // duplicated by a link fault.
   std::uint32_t batch = 0;
   std::vector<std::uint8_t> body;
 };

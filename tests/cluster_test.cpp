@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "common/serial.h"
@@ -200,6 +202,55 @@ TEST(ClusterTest, StatePersistsAcrossRuns) {
   cluster.run({[&](PartyIo& io) { second = io.rng().next_u64(); },
                [](PartyIo&) {}});
   EXPECT_NE(first, second);
+}
+
+TEST(ClusterTest, DropReleasesAllParkedStreams) {
+  // Regression: drop() must release EVERY stream parked at
+  // waiting == expected_, not just the first. Stream waiting counts
+  // worker threads, so when a player drops mid-pipeline several batch
+  // streams can satisfy the barrier at once — waking only one leaves the
+  // others with no future arrivals (deadlock; this test hangs without
+  // the fix).
+  const int n = 4;
+  Cluster cluster(n, 1, 11);
+  std::atomic<int> round1_done{0};
+  std::atomic<int> round2_done{0};
+  std::vector<Cluster::Program> programs;
+  for (int i = 0; i < n - 1; ++i) {
+    programs.push_back([&](PartyIo& io) {
+      // Two workers, one per batch stream; each runs two rounds. Round 2
+      // can only complete after the faulty player drops.
+      std::vector<std::thread> workers;
+      for (std::uint32_t s : {1u, 2u}) {
+        workers.emplace_back([&io, &round1_done, &round2_done, s] {
+          PartyIo& inst = io.instance(s);
+          inst.sync();
+          ++round1_done;
+          inst.sync();
+          ++round2_done;
+        });
+      }
+      for (auto& w : workers) w.join();
+    });
+  }
+  programs.push_back([&](PartyIo& io) {
+    // The faulty player participates in round 1 of both streams, then
+    // returns — so the drop happens while both streams are parked at
+    // n-1 waiters.
+    std::vector<std::thread> workers;
+    for (std::uint32_t s : {1u, 2u}) {
+      workers.emplace_back([&io, s] { io.instance(s).sync(); });
+    }
+    for (auto& w : workers) w.join();
+    while (round1_done.load() < 2 * (n - 1)) std::this_thread::yield();
+    // Let the honest workers park at their round-2 barriers. Correctness
+    // does not depend on this sleep — a worker arriving after the drop
+    // fires the barrier itself — it just makes the pre-fix deadlock
+    // reliable.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  });
+  cluster.run(std::move(programs));
+  EXPECT_EQ(round2_done.load(), 2 * (n - 1));
 }
 
 TEST(ClusterTest, RunHonestFaultyHelper) {

@@ -7,10 +7,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <set>
 #include <string>
+#include <thread>
 #include <tuple>
 #include <utility>
 #include <vector>
@@ -309,6 +311,78 @@ TEST(CoinPipelineTest, DepthFourToleratesCrashFaults) {
           << "player " << i << " batch " << b;
       for (int member : results[i].batches[b].clique) {
         EXPECT_NE(member, 3) << "crashed dealer inside batch " << b;
+      }
+    }
+  }
+}
+
+TEST(CoinPipelineTest, MidPipelineCrashReleasesAllParkedStreams) {
+  // Regression for Cluster::drop(): the faulty player rides the first
+  // rounds of every in-flight batch stream (silently) and then returns,
+  // so the drop happens while several batch streams are simultaneously
+  // parked at waiting == expected_. drop() must release them all —
+  // waking only the first deadlocks the rest and hangs the drivers in
+  // thread::join (this test hangs without the fix). A silent participant
+  // delivers byte-identical inboxes to an immediate crash, so honest
+  // outcomes must also match the pure-crash run bit for bit.
+  const std::uint64_t seed = 77;
+  const unsigned batches = 4;
+  const int faulty = 3;
+  auto genesis = trusted_dealer_coins<F>(kN, kT, 32, seed);
+
+  auto run_with = [&](const Cluster::Program& adversary) {
+    std::vector<PipelineResult<F>> results(kN);
+    Cluster cluster(kN, kT, seed);
+    cluster.run(
+        [&](PartyIo& io) {
+          CoinPool<F> pool;
+          for (auto& c : genesis[io.id()]) pool.add(std::move(c));
+          PipelineOptions opts;
+          opts.depth = 4;
+          results[io.id()] =
+              pipelined_coin_gen<F>(io, kM, pool, batches, opts);
+        },
+        {faulty}, adversary);
+    EXPECT_EQ(cluster.stale_rejections(), 0u);
+    return results;
+  };
+
+  const auto crash = run_with(nullptr);
+  const auto mid = run_with([&](PartyIo& io) {
+    // Two silent rounds on each of the depth-4 batch streams (default
+    // first_batch_id = 1), then crash mid-pipeline.
+    std::vector<std::thread> workers;
+    for (unsigned b = 0; b < batches; ++b) {
+      workers.emplace_back([&io, b] {
+        PartyIo& inst = io.instance(1 + b);
+        inst.sync();
+        inst.sync();
+      });
+    }
+    for (auto& w : workers) w.join();
+    // Let the honest workers park at their next barriers before the
+    // drop. Correctness does not depend on this sleep — a worker
+    // arriving after the drop fires the barrier itself — it just makes
+    // the pre-fix deadlock reliable.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  });
+
+  for (int i = 0; i < kN; ++i) {
+    if (i == faulty) continue;
+    ASSERT_EQ(mid[i].batches.size(), batches) << "player " << i;
+    EXPECT_EQ(mid[i].successes(), batches) << "player " << i;
+    for (unsigned b = 0; b < batches; ++b) {
+      EXPECT_EQ(batch_key(mid[i].batches[b]), batch_key(crash[i].batches[b]))
+          << "player " << i << " batch " << b;
+      ASSERT_EQ(mid[i].batches[b].coin_shares.size(),
+                crash[i].batches[b].coin_shares.size());
+      for (std::size_t h = 0; h < mid[i].batches[b].coin_shares.size(); ++h) {
+        EXPECT_EQ(mid[i].batches[b].coin_shares[h],
+                  crash[i].batches[b].coin_shares[h])
+            << "player " << i << " batch " << b << " share " << h;
+      }
+      for (int member : mid[i].batches[b].clique) {
+        EXPECT_NE(member, faulty) << "crashed dealer inside batch " << b;
       }
     }
   }
