@@ -171,8 +171,14 @@ int main(int argc, char** argv) {
   table.context("M", fmt(kM));
   table.context("rtt_us", fmt(rtt_us));
   double depth1_wall = 0.0;
+  bool stale_clean = serial.stale == 0;
   for (unsigned depth : {1u, 2u, 4u}) {
     const RunStats r = run_depth(depth, batches, rtt_us);
+    if (r.stale != 0) {
+      std::fprintf(stderr, "FAIL: %llu stale rejections at depth %u\n",
+                   static_cast<unsigned long long>(r.stale), depth);
+      stale_clean = false;
+    }
     if (depth == 1) depth1_wall = r.wall_ms;
     // Only depth 1 runs on the root stream with the serial loop's rng;
     // overlapped depths deal from per-stream rngs, so their (equally
@@ -192,6 +198,9 @@ int main(int argc, char** argv) {
                fmt(r.faults)});
   }
   table.print();
+  // Clean pipelining means the stream demux never had to reject a
+  // delayed envelope: any nonzero count is a scheduling bug, not noise.
+  if (!stale_clean) return 1;
   if (json_mode()) return 0;
   std::printf(
       "\nshape check: depth 1 matches the serial coin_gen loop bit-for-bit "

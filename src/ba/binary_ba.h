@@ -5,6 +5,12 @@
 // protocol is used, then the coins needed by the BA protocol must be
 // taken into consideration when setting the level of coins needed for
 // the bootstrapping mechanism", Section 1.2).
+//
+// Protocols take the BA as a generic callable `ba(io, input, instance)`
+// so it works over any NetEndpoint (raw PartyIo or a committee
+// Endpoint). `DefaultBinaryBa` is the polymorphic default; the
+// `BinaryBa` std::function alias remains for callers that store a
+// PartyIo-bound BA (tests, examples).
 
 #pragma once
 
@@ -12,13 +18,22 @@
 
 #include "ba/phase_king.h"
 #include "net/cluster.h"
+#include "net/endpoint.h"
 
 namespace dprbg {
 
-using BinaryBa = std::function<int(PartyIo&, int input, unsigned instance)>;
+// Default BA: deterministic Phase-King, over any endpoint type.
+struct DefaultBinaryBa {
+  template <NetEndpoint Io>
+  int operator()(Io& io, int input, unsigned instance) const {
+    return phase_king_ba(io, input, instance);
+  }
+};
 
-inline int default_binary_ba(PartyIo& io, int input, unsigned instance) {
-  return phase_king_ba(io, input, instance);
-}
+inline constexpr DefaultBinaryBa default_binary_ba{};
+
+// Type-erased BA over a concrete PartyIo (historical signature; new code
+// should prefer passing any callable straight through the templates).
+using BinaryBa = std::function<int(PartyIo&, int input, unsigned instance)>;
 
 }  // namespace dprbg

@@ -30,7 +30,7 @@
 #include "ba/binary_ba.h"
 #include "common/check.h"
 #include "common/trace.h"
-#include "net/cluster.h"
+#include "net/endpoint.h"
 #include "net/msg.h"
 
 namespace dprbg {
@@ -40,10 +40,11 @@ struct MultivaluedResult {
   bool from_inputs = false;         // true iff BA accepted a proper value
 };
 
-inline MultivaluedResult multivalued_ba(
-    PartyIo& io, const std::vector<std::uint8_t>& my_value,
+template <NetEndpoint Io, typename Ba = DefaultBinaryBa>
+MultivaluedResult multivalued_ba(
+    Io& io, const std::vector<std::uint8_t>& my_value,
     const std::vector<std::uint8_t>& fallback = {}, unsigned instance = 0,
-    const BinaryBa& binary = default_binary_ba,
+    const Ba& binary = default_binary_ba,
     std::size_t max_value_size = 1u << 20) {
   const int n = io.n();
   const int t = io.t();
@@ -106,9 +107,10 @@ inline MultivaluedResult multivalued_ba(
 // value, then everyone agrees on what was received. If the sender is
 // honest every player outputs its value; a faulty sender still cannot
 // make honest players output different values.
-inline MultivaluedResult broadcast_via_ba(
-    PartyIo& io, int sender, const std::vector<std::uint8_t>& value,
-    unsigned instance = 0, const BinaryBa& binary = default_binary_ba) {
+template <NetEndpoint Io, typename Ba = DefaultBinaryBa>
+MultivaluedResult broadcast_via_ba(
+    Io& io, int sender, const std::vector<std::uint8_t>& value,
+    unsigned instance = 0, const Ba& binary = default_binary_ba) {
   const std::uint32_t tag = make_tag(ProtoId::kRandomizedBa, instance, 42);
   if (io.id() == sender) io.send_all(tag, value);
   const Inbox& in = io.sync();

@@ -23,14 +23,15 @@
 
 #include "common/check.h"
 #include "common/trace.h"
-#include "net/cluster.h"
+#include "net/endpoint.h"
 #include "net/msg.h"
 
 namespace dprbg {
 
 // Runs one Byzantine agreement on a binary input. All players call it in
 // lockstep; returns the agreed bit. Rounds: 2 * (t + 1).
-inline int phase_king_ba(PartyIo& io, int input, unsigned instance = 0) {
+template <NetEndpoint Io>
+int phase_king_ba(Io& io, int input, unsigned instance = 0) {
   const int n = io.n();
   const int t = io.t();
   DPRBG_CHECK(n > 4 * t);

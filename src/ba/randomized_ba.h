@@ -35,6 +35,7 @@
 #include "common/trace.h"
 #include "gf/field_concept.h"
 #include "net/cluster.h"
+#include "net/endpoint.h"
 #include "net/msg.h"
 #include "coin/sealed_coin.h"
 
@@ -42,7 +43,9 @@ namespace dprbg {
 
 // Source of shared coin bits consumed by the protocol; typically wraps
 // DPrbg<F>::next_bit. Must behave identically (same sequence) at every
-// honest player.
+// honest player. The protocol takes any callable `source(io) ->
+// std::optional<int>`; this alias is the type-erased form over a
+// concrete PartyIo for callers that store one.
 using SharedCoinSource = std::function<std::optional<int>(PartyIo&)>;
 
 struct RandomizedBaResult {
@@ -51,10 +54,11 @@ struct RandomizedBaResult {
   unsigned coins_consumed = 0;
 };
 
-inline RandomizedBaResult randomized_ba(PartyIo& io, int input,
-                                        const SharedCoinSource& coin_source,
-                                        unsigned max_phases = 20,
-                                        unsigned instance = 0) {
+template <NetEndpoint Io, typename CoinSource>
+RandomizedBaResult randomized_ba(Io& io, int input,
+                                 const CoinSource& coin_source,
+                                 unsigned max_phases = 20,
+                                 unsigned instance = 0) {
   const int n = io.n();
   const int t = io.t();
   DPRBG_CHECK(n >= 5 * t + 1);

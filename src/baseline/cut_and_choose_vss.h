@@ -24,7 +24,7 @@
 
 #include "gf/field_concept.h"
 #include "gf/field_io.h"
-#include "net/cluster.h"
+#include "net/endpoint.h"
 #include "net/msg.h"
 #include "poly/berlekamp_welch.h"
 #include "poly/polynomial.h"
@@ -43,9 +43,9 @@ struct CutAndChooseOutcome {
 // kappa <= F::kBits challenge rounds from one coin. Dealer passes f;
 // blinding polynomials are generated internally from its local
 // randomness. 3 rounds total (distribute, expose, reveal).
-template <FiniteField F>
+template <FiniteField F, NetEndpoint Io>
 CutAndChooseOutcome<F> cut_and_choose_vss(
-    PartyIo& io, int dealer, unsigned t, unsigned kappa,
+    Io& io, int dealer, unsigned t, unsigned kappa,
     const std::optional<Polynomial<F>>& dealer_poly,
     const SealedCoin<F>& challenge_coin, unsigned instance = 0) {
   DPRBG_CHECK(kappa >= 1 && kappa <= F::kBits);

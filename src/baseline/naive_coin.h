@@ -29,7 +29,7 @@
 
 #include "gf/field_concept.h"
 #include "gf/field_io.h"
-#include "net/cluster.h"
+#include "net/endpoint.h"
 #include "net/msg.h"
 #include "poly/berlekamp_welch.h"
 #include "poly/polynomial.h"
@@ -38,8 +38,8 @@
 namespace dprbg {
 
 // Generates one shared coin from scratch. 2 rounds: deal, open.
-template <FiniteField F>
-std::optional<F> naive_coin(PartyIo& io, unsigned t, unsigned instance = 0) {
+template <FiniteField F, NetEndpoint Io>
+std::optional<F> naive_coin(Io& io, unsigned t, unsigned instance = 0) {
   const std::uint32_t deal_tag =
       make_tag(ProtoId::kBaselineCoin, instance, 4);
   const std::uint32_t open_tag =

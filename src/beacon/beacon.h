@@ -1,0 +1,241 @@
+// Sharded randomness beacon: K independent committees, one combined coin
+// stream.
+//
+// The paper's protocols are fixed-n cliques with Omega(n^2) messages per
+// round, so one cluster's coin throughput is capped by its slowest
+// member's round trip. Sharding is the standard way out: partition N =
+// K*n players into K committees (net/committee.h), run the full
+// pipelined Coin-Gen machinery (coin/coin_pipeline.h) in each committee
+// concurrently — each on its own stream slice, roster barrier, fault
+// plan and trace scope — and combine the K per-committee coin streams
+// into one global beacon output by field addition, which in GF(2^k) is
+// exactly bitwise XOR.
+//
+// Soundness of the combination (DESIGN.md §11): each committee's coin is
+// unpredictable to an adversary bounded by t faults *in that committee*
+// (Lemma 1/Lemma 3 soundness of the underlying VSS batches). XOR of
+// independent committee coins is uniform as long as at least one
+// contributing committee is honest-majority, because XOR with an
+// independent uniform value is uniform. The beacon therefore degrades
+// gracefully: corrupting a whole committee biases nothing while any
+// other committee stays within its fault bound.
+//
+// Determinism contract (tests/beacon_test.cpp): the beacon output is a
+// pure function of Options{seed, committees, committee_size, ...} —
+// independent of pipeline depth and of how the committee threads
+// interleave in wall-clock. Two ingredients make this hold:
+//   * every Coin-Gen batch always runs on its own committee-local round
+//     stream 1+b (even at depth 1, where the pipelined scheduler would
+//     otherwise degenerate to the caller's stream), so the rng streams
+//     consumed per batch never depend on the overlap window;
+//   * seed coins are charged per batch up front from a genesis pool
+//     sized to exactly batches * (1 + leader_coins) coins, so every
+//     batch's charge is the same contiguous pool block at any depth
+//     (returned unspent coins land at the pool's tail and are never
+//     re-charged).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "gf/field_concept.h"
+#include "net/cluster.h"
+#include "net/committee.h"
+#include "coin/coin_expose.h"
+#include "coin/coin_gen.h"
+#include "coin/coin_pipeline.h"
+#include "dprbg/coin_pool.h"
+#include "dprbg/trusted_dealer.h"
+
+namespace dprbg {
+
+// Per-committee genesis entropy: disjoint dealer streams per committee,
+// derived from the beacon seed with a SplitMix64-style mix.
+inline std::uint64_t committee_seed(std::uint64_t seed, std::uint32_t c) {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (c + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+template <FiniteField F>
+class Beacon {
+ public:
+  struct Options {
+    // K: number of committees; the cluster holds K * committee_size
+    // players. Bounded by the stream slices fitting the uint16 wire
+    // batch id (16 committees at the default stride of 4096).
+    unsigned committees = 2;
+    unsigned committee_size = 7;
+    unsigned committee_t = 1;
+    // M: coins minted per Coin-Gen batch.
+    unsigned coins_per_batch = 4;
+    // Coin-Gen batches per committee (each on its own round stream).
+    unsigned batches = 4;
+    // Pipeline window per committee (1 = serial; transcripts are
+    // depth-invariant either way, see the header comment).
+    unsigned depth = 2;
+    unsigned leader_coins = 3;
+    unsigned max_iterations = 16;
+    std::uint64_t seed = 0xBEAC04ull;
+    // Simulated one-way per-round link latency (Cluster contract).
+    unsigned round_latency_us = 0;
+  };
+
+  struct CommitteeOutcome {
+    // Exposed coin values, in batch-then-coin order; identical at every
+    // member when `unanimous`.
+    std::vector<F> coins;
+    unsigned batches_ok = 0;
+    unsigned seed_coins_used = 0;
+    bool unanimous = true;
+  };
+
+  struct Output {
+    bool success = false;
+    // beacon[i] = sum over committees of committees[c].coins[i] (XOR in
+    // GF(2^k)); length = the shortest committee stream.
+    std::vector<F> beacon;
+    std::vector<CommitteeOutcome> committees;
+  };
+
+  explicit Beacon(Options opts)
+      : opts_(opts),
+        cluster_(static_cast<int>(opts.committees * opts.committee_size),
+                 static_cast<int>(opts.committee_t), opts.seed) {
+    DPRBG_CHECK(opts_.committees >= 1);
+    DPRBG_CHECK(opts_.batches >= 1);
+    DPRBG_CHECK(opts_.committees * kStride <= 0x10000u);
+    // batches+1 local streams per committee: root + one per batch.
+    DPRBG_CHECK(opts_.batches + 1 <= kStride);
+    cluster_.set_round_latency_us(opts_.round_latency_us);
+    const int n = static_cast<int>(opts_.committee_size);
+    for (unsigned c = 0; c < opts_.committees; ++c) {
+      std::vector<int> members(n);
+      for (int i = 0; i < n; ++i) members[i] = static_cast<int>(c) * n + i;
+      Committee::Options copts;
+      copts.id = c;
+      copts.first_stream = c * kStride;
+      copts.stream_count = kStride;
+      copts.t = static_cast<int>(opts_.committee_t);
+      committees_.push_back(std::make_unique<Committee>(
+          cluster_, std::move(members), copts));
+    }
+  }
+
+  [[nodiscard]] Cluster& cluster() { return cluster_; }
+  [[nodiscard]] Committee& committee(unsigned c) { return *committees_[c]; }
+  [[nodiscard]] const Options& options() const { return opts_; }
+
+  // Runs the full beacon round: per-committee pipelined Coin-Gen, then
+  // committee-local exposure of every minted coin, then the XOR-combine.
+  // Blocks until every committee finishes. May be called once per Beacon
+  // (stream ids are not reused across runs).
+  Output run() {
+    const unsigned K = opts_.committees;
+    const int n = static_cast<int>(opts_.committee_size);
+    const unsigned genesis_count =
+        opts_.batches * (1 + opts_.leader_coins);
+    std::vector<std::vector<std::vector<SealedCoin<F>>>> genesis(K);
+    for (unsigned c = 0; c < K; ++c) {
+      genesis[c] = trusted_dealer_coins<F>(
+          n, opts_.committee_t, static_cast<int>(genesis_count),
+          committee_seed(opts_.seed, c));
+    }
+
+    const int total = static_cast<int>(K) * n;
+    std::vector<std::vector<F>> exposed(total);
+    std::vector<PipelineResult<F>> results(total);
+    cluster_.run(std::vector<Cluster::Program>(
+        static_cast<std::size_t>(total), [&](PartyIo& io) {
+          const unsigned c = static_cast<unsigned>(io.id() / n);
+          Endpoint& ep = committees_[c]->endpoint(io);
+          CoinPool<F> pool;
+          for (auto& coin : genesis[c][ep.id()]) pool.add(std::move(coin));
+          PipelineResult<F> res = run_batches(ep, pool);
+          // Expose every minted coin on the committee's root stream.
+          // Coin-Gen decides batch success unanimously, so the exposure
+          // instance counter stays aligned across the committee.
+          std::vector<F> vals;
+          unsigned idx = 0;
+          for (const auto& batch : res.batches) {
+            if (!batch.success) continue;
+            for (const auto& coin :
+                 batch.sealed_coins(opts_.committee_t)) {
+              const auto v = coin_expose<F>(ep, coin, idx++);
+              if (v) vals.push_back(*v);
+            }
+          }
+          exposed[io.id()] = std::move(vals);
+          results[io.id()] = std::move(res);
+        }));
+
+    Output out;
+    out.committees.resize(K);
+    std::size_t min_len = exposed[0].size();
+    for (unsigned c = 0; c < K; ++c) {
+      CommitteeOutcome& oc = out.committees[c];
+      oc.coins = exposed[static_cast<std::size_t>(c) * n];
+      for (int m = 1; m < n; ++m) {
+        if (exposed[static_cast<std::size_t>(c) * n + m] != oc.coins) {
+          oc.unanimous = false;
+        }
+      }
+      oc.batches_ok = results[static_cast<std::size_t>(c) * n].successes();
+      oc.seed_coins_used =
+          results[static_cast<std::size_t>(c) * n].seed_coins_used;
+      min_len = std::min(min_len, oc.coins.size());
+    }
+    out.beacon.assign(min_len, F::zero());
+    out.success = min_len > 0;
+    for (unsigned c = 0; c < K; ++c) {
+      if (!out.committees[c].unanimous) out.success = false;
+      for (std::size_t i = 0; i < min_len; ++i) {
+        out.beacon[i] = out.beacon[i] + out.committees[c].coins[i];
+      }
+    }
+    return out;
+  }
+
+ private:
+  // Committee-local stream slice width: 16 committees fit the uint16
+  // wire batch id.
+  static constexpr std::uint32_t kStride = 4096;
+
+  // Depth-invariant batch schedule (see header comment): batch b always
+  // runs on committee-local stream 1+b with the pipelined scheduler's
+  // up-front seed-coin charge; depth only changes how many overlap.
+  PipelineResult<F> run_batches(Endpoint& ep, CoinPool<F>& pool) {
+    PipelineOptions popts;
+    popts.depth = opts_.depth;
+    popts.first_batch_id = 1;
+    popts.leader_coins = opts_.leader_coins;
+    popts.max_iterations = opts_.max_iterations;
+    if (opts_.depth > 1) {
+      return pipelined_coin_gen<F>(ep, opts_.coins_per_batch, pool,
+                                   opts_.batches, popts);
+    }
+    PipelineResult<F> res;
+    res.batches.resize(opts_.batches);
+    for (unsigned b = 0; b < opts_.batches; ++b) {
+      CoinPool<F> sub;
+      sub.add_batch(pool.take_batch(std::min<std::size_t>(
+          1 + opts_.leader_coins, pool.remaining())));
+      res.batches[b] = coin_gen<F>(ep.instance(1 + b), opts_.coins_per_batch,
+                                   sub, opts_.max_iterations);
+      res.seed_coins_used += res.batches[b].seed_coins_used;
+      if (!sub.empty()) pool.add_batch(sub.take_batch(sub.remaining()));
+    }
+    return res;
+  }
+
+  Options opts_;
+  Cluster cluster_;
+  std::vector<std::unique_ptr<Committee>> committees_;
+};
+
+}  // namespace dprbg

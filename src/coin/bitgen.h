@@ -40,7 +40,7 @@
 #include "common/trace.h"
 #include "gf/field_concept.h"
 #include "gf/field_io.h"
-#include "net/cluster.h"
+#include "net/endpoint.h"
 #include "net/msg.h"
 #include "poly/berlekamp_welch.h"
 #include "poly/polynomial.h"
@@ -120,8 +120,8 @@ std::optional<std::vector<std::optional<F>>> decode_combo_batch(
 // Single-dealer Bit-Gen, exactly Fig. 4 (used standalone by tests and the
 // E6 benchmark). The dealer passes its M_total polynomials; everyone else
 // passes an empty span. Consumes 2 rounds.
-template <FiniteField F>
-BitGenView<F> bit_gen_single(PartyIo& io, int dealer, unsigned m_total,
+template <FiniteField F, NetEndpoint Io>
+BitGenView<F> bit_gen_single(Io& io, int dealer, unsigned m_total,
                              unsigned t,
                              std::span<const Polynomial<F>> dealer_polys,
                              const SealedCoin<F>& challenge_coin,
@@ -179,7 +179,8 @@ BitGenView<F> bit_gen_single(PartyIo& io, int dealer, unsigned m_total,
   view.poly = bitgen_detail::decode_combination<F>(view.combos, n, t);
   if (!view.poly && tracer().enabled()) {
     trace_point("bitgen", "decode-fail", io.id(), io.rounds(),
-                "dealer=" + std::to_string(dealer), io.stream());
+                "dealer=" + std::to_string(dealer), io.stream(),
+                io.committee());
   }
   return view;
 }
@@ -196,8 +197,8 @@ struct BitGenAllOutcome {
   std::vector<BitGenView<F>> views;  // indexed by dealer
 };
 
-template <FiniteField F>
-BitGenAllOutcome<F> bit_gen_all(PartyIo& io,
+template <FiniteField F, NetEndpoint Io>
+BitGenAllOutcome<F> bit_gen_all(Io& io,
                                 std::span<const Polynomial<F>> my_polys,
                                 unsigned m_total, unsigned t,
                                 const SealedCoin<F>& challenge_coin,
@@ -265,7 +266,8 @@ BitGenAllOutcome<F> bit_gen_all(PartyIo& io,
         out.views[dealer].combos, n, t);
     if (!out.views[dealer].poly && tracer().enabled()) {
       trace_point("bitgen", "decode-fail", io.id(), io.rounds(),
-                  "dealer=" + std::to_string(dealer), io.stream());
+                  "dealer=" + std::to_string(dealer), io.stream(),
+                  io.committee());
     }
   }
   return out;

@@ -26,7 +26,7 @@
 #include "common/trace.h"
 #include "gf/field_concept.h"
 #include "gf/field_io.h"
-#include "net/cluster.h"
+#include "net/endpoint.h"
 #include "net/msg.h"
 #include "poly/berlekamp_welch.h"
 #include "sharing/shamir.h"
@@ -39,8 +39,8 @@ namespace dprbg {
 // Returns the coin value, or nullopt when decoding fails (possible only
 // when the coin's guarantees are violated, e.g. fewer than degree + 2t + 1
 // honest share-holders).
-template <FiniteField F>
-std::optional<F> coin_expose(PartyIo& io, const SealedCoin<F>& coin,
+template <FiniteField F, NetEndpoint Io>
+std::optional<F> coin_expose(Io& io, const SealedCoin<F>& coin,
                              unsigned instance = 0) {
   TraceSpan span(io, "coin-expose", "expose",
                  tracer().enabled() ? "instance=" + std::to_string(instance)
@@ -63,7 +63,7 @@ std::optional<F> coin_expose(PartyIo& io, const SealedCoin<F>& coin,
   }
   if (points.size() < coin.degree + 1) {
     trace_point("coin-expose", "decode-fail", io.id(), io.rounds(),
-                "too few shares", io.stream());
+                "too few shares", io.stream(), io.committee());
     return std::nullopt;
   }
   // Tolerate up to t lies, but never more than the distance allows.
@@ -74,7 +74,7 @@ std::optional<F> coin_expose(PartyIo& io, const SealedCoin<F>& coin,
   const auto poly = berlekamp_welch<F>(points, coin.degree, max_errors);
   if (!poly) {
     trace_point("coin-expose", "decode-fail", io.id(), io.rounds(),
-                "berlekamp-welch failed", io.stream());
+                "berlekamp-welch failed", io.stream(), io.committee());
     return std::nullopt;
   }
   return (*poly)(F::zero());

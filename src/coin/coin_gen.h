@@ -46,7 +46,7 @@
 #include "gf/field_concept.h"
 #include "gf/field_io.h"
 #include "gradecast/gradecast.h"
-#include "net/cluster.h"
+#include "net/endpoint.h"
 #include "net/msg.h"
 #include "poly/polynomial.h"
 #include "sharing/shamir.h"
@@ -159,10 +159,10 @@ std::optional<CliqueMsg<F>> decode_clique_msg(
 // stay aligned). Returns success=false — identically at all honest
 // players — when the pool runs dry or `max_iterations` leader draws all
 // land on faulty players (probability <= (t/n)^max_iterations).
-template <FiniteField F>
-CoinGenResult<F> coin_gen(PartyIo& io, unsigned m, CoinPool<F>& pool,
+template <FiniteField F, NetEndpoint Io, typename Ba = DefaultBinaryBa>
+CoinGenResult<F> coin_gen(Io& io, unsigned m, CoinPool<F>& pool,
                           unsigned max_iterations = 16,
-                          const BinaryBa& ba = default_binary_ba) {
+                          const Ba& ba = default_binary_ba) {
   const int n = io.n();
   const unsigned t = static_cast<unsigned>(io.t());
   const unsigned m_total = m + 1;  // index 0: blinding polynomial
@@ -205,7 +205,7 @@ CoinGenResult<F> coin_gen(PartyIo& io, unsigned m, CoinPool<F>& pool,
         if (tracer().enabled()) {
           trace_point("coin-gen", "edge", io.id(), io.rounds(),
                       "j=" + std::to_string(j) + " k=" + std::to_string(k),
-                      io.stream());
+                      io.stream(), io.committee());
         }
       }
     }

@@ -26,7 +26,7 @@
 
 #include "common/check.h"
 #include "gf/field_concept.h"
-#include "net/cluster.h"
+#include "net/endpoint.h"
 #include "poly/polynomial.h"
 #include "coin/bitgen.h"
 #include "coin/sealed_coin.h"
@@ -61,8 +61,8 @@ struct BcCoinGenResult {
 // broadcast channel; adversaries must not equivocate announced values —
 // that is the assumption this variant buys its simplicity with).
 // 2 rounds, one challenge coin.
-template <FiniteField F>
-BcCoinGenResult<F> coin_gen_broadcast(PartyIo& io, unsigned m,
+template <FiniteField F, NetEndpoint Io>
+BcCoinGenResult<F> coin_gen_broadcast(Io& io, unsigned m,
                                       const SealedCoin<F>& challenge_coin,
                                       unsigned instance = 0) {
   const unsigned t = static_cast<unsigned>(io.t());

@@ -41,7 +41,7 @@
 #include "ba/binary_ba.h"
 #include "common/metrics.h"
 #include "gf/field_concept.h"
-#include "net/cluster.h"
+#include "net/endpoint.h"
 #include "coin/coin_gen.h"
 #include "dprbg/coin_pool.h"
 
@@ -86,11 +86,11 @@ struct PipelineResult {
 // opts.depth of them. All players call in lockstep with identical
 // arguments (as with coin_gen itself). Exceptions from worker threads are
 // rethrown only after every launched batch has been joined.
-template <FiniteField F>
-PipelineResult<F> pipelined_coin_gen(PartyIo& io, unsigned m,
+template <FiniteField F, NetEndpoint Io, typename Ba = DefaultBinaryBa>
+PipelineResult<F> pipelined_coin_gen(Io& io, unsigned m,
                                      CoinPool<F>& pool, unsigned batches,
                                      const PipelineOptions& opts = {},
-                                     const BinaryBa& ba = default_binary_ba) {
+                                     const Ba& ba = default_binary_ba) {
   PipelineResult<F> result;
   result.batches.resize(batches);
   if (batches == 0) return result;
@@ -124,7 +124,7 @@ PipelineResult<F> pipelined_coin_gen(PartyIo& io, unsigned m,
       // (keeping Cluster::per_player_field_ops exact).
       const FieldCounters before = field_counters();
       try {
-        PartyIo& bio = io.instance(stream);
+        Io& bio = io.instance(stream);
         fl.outcome =
             coin_gen<F>(bio, m, fl.subpool, opts.max_iterations, ba);
       } catch (...) {

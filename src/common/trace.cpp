@@ -58,7 +58,7 @@ bool Tracer::write_jsonl_file(const std::string& path) const {
 
 void trace_point(std::string_view protocol, std::string_view phase,
                  int player, std::uint64_t round, std::string detail,
-                 std::uint32_t batch) {
+                 std::uint32_t batch, std::uint32_t committee) {
   Tracer& t = tracer();
   if (!t.enabled()) return;
   TraceEvent ev;
@@ -67,6 +67,7 @@ void trace_point(std::string_view protocol, std::string_view phase,
   ev.phase.assign(phase);
   ev.player = player;
   ev.batch = batch;
+  ev.committee = committee;
   ev.round_begin = ev.round_end = round;
   ev.detail = std::move(detail);
   t.record(std::move(ev));
@@ -126,6 +127,7 @@ std::string to_jsonl(const TraceEvent& ev) {
   out += std::to_string(ev.player);
   out += ',';
   append_kv(out, "batch", ev.batch);
+  append_kv(out, "committee", ev.committee);
   append_kv(out, "r0", ev.round_begin);
   append_kv(out, "r1", ev.round_end);
   append_kv(out, "adds", ev.ops.adds);
@@ -257,6 +259,7 @@ bool from_jsonl(std::string_view line, TraceEvent& ev) {
     else if (key == "phase") ev.phase = sval;
     else if (key == "player") ev.player = static_cast<int>(static_cast<std::int64_t>(nval));
     else if (key == "batch") ev.batch = static_cast<std::uint32_t>(nval);
+    else if (key == "committee") ev.committee = static_cast<std::uint32_t>(nval);
     else if (key == "r0") ev.round_begin = nval;
     else if (key == "r1") ev.round_end = nval;
     else if (key == "adds") ev.ops.adds = nval;

@@ -54,6 +54,7 @@ struct TraceEvent {
   std::string phase;     // "deal", "challenge", "round", "fault", ...
   int player = -1;       // -1: cluster-level (exchange thread)
   std::uint32_t batch = 0;        // round-stream id (0: root stream)
+  std::uint32_t committee = 0;    // committee/stream-domain id (0: default)
   std::uint64_t round_begin = 0;  // spans: rounds() at open
   std::uint64_t round_end = 0;    // spans: rounds() at close; points: ==begin
   FieldCounters ops;      // span delta of the player thread's field ops
@@ -112,10 +113,11 @@ std::vector<TraceEvent> read_jsonl(std::istream& is,
 // Records a point event (no-op when disabled). `detail` is copied only
 // when enabled, so call sites may build it lazily behind enabled().
 // `batch` is the round-stream id of the io handle the event happened on
-// (0 for the root stream).
+// (0 for the root stream); `committee` the stream-domain/committee id
+// (0 for the default domain).
 void trace_point(std::string_view protocol, std::string_view phase,
                  int player, std::uint64_t round, std::string detail = {},
-                 std::uint32_t batch = 0);
+                 std::uint32_t batch = 0, std::uint32_t committee = 0);
 
 // RAII span over one protocol phase. `Io` must expose id(), rounds() (sync
 // count so far), and sent() (CommCounters). Captures nothing when the
@@ -133,8 +135,11 @@ class TraceSpan {
     ev_.phase.assign(phase);
     ev_.player = io.id();
     // Pipelined runs open spans on per-batch io handles; stamp the
-    // stream id so per-batch cost ledgers stay separable.
+    // stream id so per-batch cost ledgers stay separable. Committee
+    // endpoints additionally carry their committee id, so sharded runs
+    // keep one ledger per (committee, batch).
     if constexpr (requires { io.stream(); }) ev_.batch = io.stream();
+    if constexpr (requires { io.committee(); }) ev_.committee = io.committee();
     ev_.round_begin = io.rounds();
     ev_.detail = std::move(detail);
     ops0_ = field_counters();

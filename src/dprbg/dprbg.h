@@ -27,7 +27,7 @@
 #include <vector>
 
 #include "gf/field_concept.h"
-#include "net/cluster.h"
+#include "net/endpoint.h"
 #include "coin/coin_expose.h"
 #include "coin/coin_gen.h"
 #include "coin/coin_pipeline.h"
@@ -69,7 +69,8 @@ class DPrbg {
   // Draws the next shared k-ary coin. Runs Coin-Expose (1 round), plus a
   // Coin-Gen refill first when the pool is low. Returns nullopt only when
   // the model's guarantees were violated (refill impossible).
-  std::optional<F> next_coin(PartyIo& io) {
+  template <NetEndpoint Io>
+  std::optional<F> next_coin(Io& io) {
     if (!maybe_refill(io)) return std::nullopt;
     if (pool_.empty()) return std::nullopt;
     const unsigned instance =
@@ -82,7 +83,8 @@ class DPrbg {
   // Binary projection ("F(0) mod 2", Fig. 6). One fresh coin per bit:
   // safe for *adaptive* consumers (e.g. randomized BA, where each phase's
   // coin must stay unpredictable until that phase's votes are cast).
-  std::optional<int> next_bit(PartyIo& io) {
+  template <NetEndpoint Io>
+  std::optional<int> next_bit(Io& io) {
     const auto v = next_coin(io);
     if (!v) return std::nullopt;
     return coin_to_bit(*v);
@@ -97,7 +99,8 @@ class DPrbg {
   // Use this for non-adaptive randomness (sampling, symmetric tie-
   // breaking, seeding) — NOT where each bit must remain secret until a
   // later adversarial choice (use next_bit there).
-  std::optional<int> next_bit_cached(PartyIo& io) {
+  template <NetEndpoint Io>
+  std::optional<int> next_bit_cached(Io& io) {
     if (cached_bits_ == 0) {
       const auto v = next_coin(io);
       if (!v) return std::nullopt;
@@ -118,7 +121,8 @@ class DPrbg {
   // applications other than broadcast). Returns false — uniformly across
   // honest players — when the pool is too small or the refresh failed
   // (the old, still-valid sharings are kept in that case).
-  bool refresh_pool(PartyIo& io) {
+  template <NetEndpoint Io>
+  bool refresh_pool(Io& io) {
     if (pool_.remaining() < 2) return false;
     const unsigned instance =
         static_cast<unsigned>(pool_.consumed() % 4096);
@@ -148,7 +152,8 @@ class DPrbg {
   // Adaptive refill ("a constant threshold triggering the generation of
   // new coins", Section 1.2). Returns false when refilling failed and the
   // pool cannot serve the request.
-  bool maybe_refill(PartyIo& io) {
+  template <NetEndpoint Io>
+  bool maybe_refill(Io& io) {
     if (opts_.pipeline_depth <= 1) {
       while (pool_.remaining() <= opts_.reserve) {
         auto gen = coin_gen<F>(io, opts_.batch_size, pool_,

@@ -32,7 +32,7 @@
 
 #include "common/check.h"
 #include "gf/field_concept.h"
-#include "net/cluster.h"
+#include "net/endpoint.h"
 #include "poly/polynomial.h"
 #include "coin/bitgen.h"
 #include "coin/sealed_coin.h"
@@ -63,8 +63,8 @@ struct RefreshResult {
 // values are unchanged, the shares are re-randomized. 2 rounds, one
 // challenge coin. All players pass their views of the same coins in the
 // same order.
-template <FiniteField F>
-RefreshResult<F> proactive_refresh(PartyIo& io,
+template <FiniteField F, NetEndpoint Io>
+RefreshResult<F> proactive_refresh(Io& io,
                                    std::span<const SealedCoin<F>> coins,
                                    const SealedCoin<F>& challenge_coin,
                                    unsigned instance = 0) {

@@ -23,7 +23,7 @@
 
 #include "common/check.h"
 #include "gf/field_concept.h"
-#include "net/cluster.h"
+#include "net/endpoint.h"
 #include "dprbg/dprbg.h"
 
 namespace dprbg {
@@ -31,8 +31,8 @@ namespace dprbg {
 // Uniform shared integer in [0, bound). Consumes one coin in expectation
 // (at most a few under rejection). Returns nullopt only on coin-supply
 // failure.
-template <FiniteField F>
-std::optional<std::uint64_t> shared_uniform(PartyIo& io, DPrbg<F>& prbg,
+template <FiniteField F, NetEndpoint Io>
+std::optional<std::uint64_t> shared_uniform(Io& io, DPrbg<F>& prbg,
                                             std::uint64_t bound) {
   DPRBG_CHECK(bound > 0);
   // Accept coins in [threshold, 2^k): that interval's length is an exact
@@ -50,8 +50,8 @@ std::optional<std::uint64_t> shared_uniform(PartyIo& io, DPrbg<F>& prbg,
 }
 
 // Uniformly random shared leader in [0, n).
-template <FiniteField F>
-std::optional<int> elect_leader(PartyIo& io, DPrbg<F>& prbg) {
+template <FiniteField F, NetEndpoint Io>
+std::optional<int> elect_leader(Io& io, DPrbg<F>& prbg) {
   const auto v = shared_uniform<F>(io, prbg,
                                    static_cast<std::uint64_t>(io.n()));
   if (!v) return std::nullopt;
@@ -61,8 +61,8 @@ std::optional<int> elect_leader(PartyIo& io, DPrbg<F>& prbg) {
 // Uniformly random shared committee: a size-`size` subset of [0, n),
 // sampled without replacement (partial Fisher-Yates driven by shared
 // coins). Returned sorted.
-template <FiniteField F>
-std::optional<std::vector<int>> elect_committee(PartyIo& io, DPrbg<F>& prbg,
+template <FiniteField F, NetEndpoint Io>
+std::optional<std::vector<int>> elect_committee(Io& io, DPrbg<F>& prbg,
                                                 int size) {
   const int n = io.n();
   DPRBG_CHECK(size >= 0 && size <= n);
@@ -80,8 +80,8 @@ std::optional<std::vector<int>> elect_committee(PartyIo& io, DPrbg<F>& prbg,
 }
 
 // Uniformly random shared permutation of [0, n) (full Fisher-Yates).
-template <FiniteField F>
-std::optional<std::vector<int>> shared_permutation(PartyIo& io,
+template <FiniteField F, NetEndpoint Io>
+std::optional<std::vector<int>> shared_permutation(Io& io,
                                                    DPrbg<F>& prbg, int n) {
   std::vector<int> perm(n);
   for (int i = 0; i < n; ++i) perm[i] = i;

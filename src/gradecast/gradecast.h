@@ -30,7 +30,7 @@
 
 #include "common/serial.h"
 #include "common/trace.h"
-#include "net/cluster.h"
+#include "net/endpoint.h"
 #include "net/msg.h"
 
 namespace dprbg {
@@ -91,8 +91,9 @@ inline std::optional<std::vector<MaybeValue>> decode_echoes(
 //
 // Byte-bounded: a Byzantine value larger than `max_value_size` is treated
 // as absent, so a faulty sender cannot blow up honest memory.
-inline std::vector<GradeCastResult> grade_cast_all(
-    PartyIo& io, const std::vector<std::uint8_t>& my_value,
+template <NetEndpoint Io>
+std::vector<GradeCastResult> grade_cast_all(
+    Io& io, const std::vector<std::uint8_t>& my_value,
     unsigned instance = 0, std::size_t max_value_size = 1u << 20) {
   using gradecast_detail::MaybeValue;
   const int n = io.n();
@@ -175,9 +176,10 @@ inline std::vector<GradeCastResult> grade_cast_all(
 
 // Single-sender convenience wrapper (used by tests): only `sender`
 // contributes a value; everyone participates in the echo rounds.
-inline GradeCastResult grade_cast(PartyIo& io, int sender,
-                                  const std::vector<std::uint8_t>& value,
-                                  unsigned instance = 0) {
+template <NetEndpoint Io>
+GradeCastResult grade_cast(Io& io, int sender,
+                           const std::vector<std::uint8_t>& value,
+                           unsigned instance = 0) {
   std::vector<std::uint8_t> mine;
   if (io.id() == sender) mine = value;
   return grade_cast_all(io, mine, instance)[sender];

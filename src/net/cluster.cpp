@@ -23,6 +23,10 @@ constexpr std::uint64_t kHeaderBytes = 14;
 int PartyIo::n() const { return cluster_.n(); }
 int PartyIo::t() const { return cluster_.t(); }
 
+std::uint32_t PartyIo::committee() const {
+  return cluster_.committee_of(stream_);
+}
+
 PartyIo& PartyIo::instance(std::uint32_t batch) {
   if (batch == 0 || batch == stream_) return *this;
   return cluster_.instance_io(id_, batch);
@@ -35,12 +39,18 @@ void PartyIo::send(int to, std::uint32_t tag,
     ++sent_.messages;
     sent_.bytes += body.size() + kHeaderBytes;
     if (tracer().enabled()) {
+      // Net events carry the domain-local batch id (global stream minus
+      // the domain's base) plus the committee id, matching the ids the
+      // protocol spans above them use. The default domain starts at 0,
+      // so unsharded traces are unchanged.
+      const auto& dom = cluster_.domain_of(stream_);
       TraceEvent ev;
       ev.kind = TraceEventKind::kPoint;
       ev.protocol = "net";
       ev.phase = "send";
       ev.player = id_;
-      ev.batch = stream_;
+      ev.batch = stream_ - dom.first_stream;
+      ev.committee = dom.committee;
       ev.round_begin = ev.round_end = sent_.rounds;
       ev.comm.messages = 1;
       ev.comm.bytes = body.size() + kHeaderBytes;
@@ -73,15 +83,106 @@ const Inbox& PartyIo::sync() {
 Cluster::Cluster(int n, int t, std::uint64_t seed)
     : n_(n), t_(t), seed_(seed) {
   DPRBG_CHECK(n >= 1 && t >= 0 && t < n);
+  active_.assign(n, 1);
   parties_.reserve(n);
   RoundStream& root = streams_[0];
   root.id = 0;
   root.members.assign(n, nullptr);
+  root.domain = &default_domain_;
   for (int i = 0; i < n; ++i) {
     parties_.push_back(
         std::unique_ptr<PartyIo>(new PartyIo(*this, i, seed, 0)));
     root.members[i] = parties_.back().get();
   }
+}
+
+Cluster::StreamDomain& Cluster::domain_of(std::uint32_t stream) {
+  for (auto& d : domains_) {
+    if (stream >= d->first_stream &&
+        stream - d->first_stream < d->stream_count) {
+      return *d;
+    }
+  }
+  return default_domain_;
+}
+
+const Cluster::StreamDomain& Cluster::domain_of(std::uint32_t stream) const {
+  return const_cast<Cluster*>(this)->domain_of(stream);
+}
+
+std::uint32_t Cluster::committee_of(std::uint32_t stream) const {
+  return domain_of(stream).committee;
+}
+
+int Cluster::stream_expected(const RoundStream& st) const {
+  const StreamDomain& d = *st.domain;
+  if (d.roster.empty()) return expected_;
+  int count = 0;
+  for (int i = 0; i < n_; ++i) {
+    if (d.roster[static_cast<std::size_t>(i)] != 0 && active_[i] != 0) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+void Cluster::register_stream_domain(std::uint32_t committee,
+                                     std::uint32_t first_stream,
+                                     std::uint32_t stream_count,
+                                     const std::vector<int>& members) {
+  std::lock_guard lk(mu_);
+  DPRBG_CHECK(expected_ == 0);  // never while run() is active
+  DPRBG_CHECK(stream_count > 0);
+  DPRBG_CHECK(!members.empty());
+  auto dom = std::make_unique<StreamDomain>();
+  dom->committee = committee;
+  dom->first_stream = first_stream;
+  dom->stream_count = stream_count;
+  dom->roster.assign(static_cast<std::size_t>(n_), 0);
+  for (int m : members) {
+    DPRBG_CHECK(m >= 0 && m < n_);
+    DPRBG_CHECK(dom->roster[static_cast<std::size_t>(m)] == 0);
+    dom->roster[static_cast<std::size_t>(m)] = 1;
+  }
+  for (const auto& d : domains_) {
+    DPRBG_CHECK(d->committee != committee);
+    const bool disjoint =
+        first_stream + stream_count <= d->first_stream ||
+        d->first_stream + d->stream_count <= first_stream;
+    DPRBG_CHECK(disjoint);
+  }
+  // Re-point already-opened streams in range (the root stream exists from
+  // construction); only legal while the stream is still untouched, since
+  // changing a live stream's roster would corrupt its barrier.
+  for (auto& [sid, st] : streams_) {
+    if (sid >= first_stream && sid - first_stream < stream_count) {
+      DPRBG_CHECK(st.exchange_index == 0 && st.waiting == 0);
+      st.domain = dom.get();
+    }
+  }
+  domains_.push_back(std::move(dom));
+}
+
+void Cluster::set_domain_fault_injector(
+    std::uint32_t committee, std::shared_ptr<const FaultInjector> injector) {
+  std::lock_guard lk(mu_);
+  DPRBG_CHECK(expected_ == 0);
+  for (auto& d : domains_) {
+    if (d->committee == committee) {
+      d->injector = std::move(injector);
+      return;
+    }
+  }
+  DPRBG_CHECK(committee == 0);  // default domain: use set_fault_injector
+  default_domain_.injector = std::move(injector);
+}
+
+const FaultCounters& Cluster::domain_faults(std::uint32_t committee) const {
+  for (const auto& d : domains_) {
+    if (d->committee == committee) return d->faults;
+  }
+  DPRBG_CHECK(committee == 0);
+  return default_domain_.faults;
 }
 
 PartyIo& Cluster::instance_io(int player, std::uint32_t batch) {
@@ -93,6 +194,11 @@ PartyIo& Cluster::instance_io(int player, std::uint32_t batch) {
   // of silently breaking the byte accounting.
   DPRBG_CHECK(batch <= 0xFFFF);
   std::lock_guard lk(mu_);
+  StreamDomain& dom = domain_of(batch);
+  // A player may only open handles on streams whose domain roster
+  // includes it — this is what keeps committee traffic inside the
+  // committee (the admit()-time foreign check is only a backstop).
+  DPRBG_CHECK(in_roster(dom, player));
   const auto key = std::make_pair(player, batch);
   auto it = instances_.find(key);
   if (it == instances_.end()) {
@@ -102,24 +208,41 @@ PartyIo& Cluster::instance_io(int player, std::uint32_t batch) {
              .first;
     RoundStream& st = streams_[batch];
     st.id = batch;
+    st.domain = &dom;
     if (st.members.empty()) st.members.assign(n_, nullptr);
     st.members[player] = it->second.get();
   }
   return *it->second;
 }
 
+PartyIo& Cluster::handle(int player, std::uint32_t stream) {
+  DPRBG_CHECK(player >= 0 && player < n_);
+  if (stream == 0) return *parties_[static_cast<std::size_t>(player)];
+  return instance_io(player, stream);
+}
+
 void Cluster::do_exchange(RoundStream& st) {
-  // Runs with mu_ held, all active threads quiescent on this stream.
+  // Runs with mu_ held, all roster threads quiescent on this stream.
   // Collect every staged envelope of the stream's members, account
   // communication, and deliver sorted inboxes.
   std::vector<std::vector<Msg>> next(n_);
   const std::uint64_t round = st.exchange_index++;
   const bool trace_on = tracer().enabled();
   const CommCounters comm_before = comm_;
+  StreamDomain& dom = *st.domain;
+  // Trace events carry the domain-local batch id; the default domain
+  // starts at 0, so unsharded traces are unchanged.
+  const std::uint32_t local_batch = st.id - dom.first_stream;
+  // The injector consulted for this stream: the domain's own, falling
+  // back to the cluster-wide one.
+  const FaultInjector* inj =
+      dom.injector != nullptr ? dom.injector.get() : injector_.get();
   // Demux guard shared by delayed and fresh traffic: an envelope may
-  // only surface in the stream it was sent on. PartyIo stamps
-  // Msg::batch and the delay queue is per-stream, so a mismatch means a
-  // wiring bug — reject (count, don't deliver) rather than misdeliver.
+  // only surface in the stream it was sent on, and only between roster
+  // members of the stream's domain. PartyIo stamps Msg::batch, the delay
+  // queue is per-stream, and handles are roster-guarded at creation, so
+  // a mismatch means a wiring bug — reject (count, don't deliver) rather
+  // than misdeliver.
   auto admit = [&](int to, Msg&& msg) {
     if (msg.batch != st.id) {
       ++stale_rejections_;
@@ -127,13 +250,22 @@ void Cluster::do_exchange(RoundStream& st) {
         trace_point("net", "stale", to, round,
                     "from=" + std::to_string(msg.from) +
                         " batch=" + std::to_string(msg.batch),
-                    st.id);
+                    local_batch, dom.committee);
+      }
+      return;
+    }
+    if (!in_roster(dom, msg.from) || !in_roster(dom, to)) {
+      ++foreign_rejections_;
+      if (trace_on) {
+        trace_point("net", "foreign", to, round,
+                    "from=" + std::to_string(msg.from), local_batch,
+                    dom.committee);
       }
       return;
     }
     next[to].push_back(std::move(msg));
   };
-  if (injector_ != nullptr) {
+  if (inj != nullptr) {
     // Delay-fault arrivals merge in ahead of this round's fresh traffic;
     // the (from, tag) stable sort below interleaves them deterministically.
     const auto due = st.delayed.find(round);
@@ -142,31 +274,36 @@ void Cluster::do_exchange(RoundStream& st) {
       st.delayed.erase(due);
     }
   }
-  for (PartyIo* p : st.members) {
-    if (p == nullptr) continue;
+  for (int sender = 0; sender < n_; ++sender) {
+    PartyIo* p = st.members[sender];
+    if (p == nullptr || !in_roster(dom, sender)) continue;
     for (auto& env : p->staged_buffer()) {
       if (env.to != env.msg.from) {
         ++comm_.messages;
         comm_.bytes += env.msg.body.size() + kHeaderBytes;
       }
-      if (injector_ != nullptr && env.to != env.msg.from) {
+      if (inj != nullptr && env.to != env.msg.from) {
         // Self-deliveries are not links and are never faulted.
         const FaultCounters faults_before = faults_;
         const int from = env.msg.from;
         const std::uint32_t tag = env.msg.tag;
         std::vector<Msg> routed;
-        injector_->route(round, env.to, std::move(env.msg), routed,
-                         st.delayed, faults_);
+        inj->route(round, env.to, std::move(env.msg), routed, st.delayed,
+                   faults_);
         for (Msg& m : routed) admit(env.to, std::move(m));
-        if (trace_on) {
-          const FaultCounters delta = faults_ - faults_before;
-          if (delta.total() != 0) {
+        const FaultCounters delta = faults_ - faults_before;
+        if (delta.total() != 0) {
+          // Every effect is charged to the stream's domain as well, so
+          // per-committee fault ledgers sum to faults() exactly.
+          dom.faults += delta;
+          if (trace_on) {
             TraceEvent ev;
             ev.kind = TraceEventKind::kPoint;
             ev.protocol = "net";
             ev.phase = "fault";
             ev.player = env.to;
-            ev.batch = st.id;
+            ev.batch = local_batch;
+            ev.committee = dom.committee;
             ev.round_begin = ev.round_end = round;
             ev.faults = delta;
             ev.detail = "from=" + std::to_string(from) +
@@ -188,13 +325,15 @@ void Cluster::do_exchange(RoundStream& st) {
     ev.protocol = "net";
     ev.phase = "round";
     ev.player = -1;
-    ev.batch = st.id;
+    ev.batch = local_batch;
+    ev.committee = dom.committee;
     ev.round_begin = ev.round_end = round;
     ev.comm = comm_ - comm_before;
     tracer().record(std::move(ev));
   }
   for (int i = 0; i < n_; ++i) {
     if (st.members[i] == nullptr) continue;  // never joined this stream
+    if (!in_roster(dom, i)) continue;        // outside the domain roster
     // Stable by send order; sort by (from, tag) so same-sender same-tag
     // duplicates are adjacent and ordering is deterministic.
     std::stable_sort(next[i].begin(), next[i].end(),
@@ -210,8 +349,12 @@ void Cluster::arrive_and_exchange(PartyIo& party) {
   {
     std::unique_lock lk(mu_);
     RoundStream& st = streams_.at(party.stream_);
+    // A handle may only drive a stream whose domain roster includes its
+    // player (instance_io already guards creation; this catches root
+    // handles syncing on a stream 0 that a committee claimed).
+    DPRBG_CHECK(in_roster(*st.domain, party.id_));
     ++st.waiting;
-    if (st.waiting == expected_) {
+    if (st.waiting == stream_expected(st)) {
       do_exchange(st);
       st.waiting = 0;
       ++st.generation;
@@ -229,20 +372,22 @@ void Cluster::arrive_and_exchange(PartyIo& party) {
   }
 }
 
-void Cluster::drop() {
+void Cluster::drop(int player) {
   std::unique_lock lk(mu_);
+  active_[static_cast<std::size_t>(player)] = 0;
   --expected_;
   if (expected_ <= 0) return;
   // A stream's waiting counts worker threads, not players, so several
-  // batch streams can simultaneously sit at waiting == expected_ when a
-  // player drops mid-pipeline (e.g. a crashed player never opens its
-  // per-batch handles and every in-flight stream is parked at n-1
-  // waiters). Fire them all: each fired stream's waiting resets to 0 and
-  // its waiters cannot re-arrive while mu_ is held, so one pass
-  // suffices.
+  // batch streams can simultaneously reach their (now reduced) expected
+  // count when a player drops mid-pipeline (e.g. a crashed player never
+  // opens its per-batch handles and every in-flight stream is parked at
+  // one short of full). Fire them all: each fired stream's waiting
+  // resets to 0 and its waiters cannot re-arrive while mu_ is held, so
+  // one pass suffices. Streams whose roster never contained the dropped
+  // player keep their expected count and are left alone.
   bool fired = false;
   for (auto& [sid, st] : streams_) {
-    if (st.waiting > 0 && st.waiting == expected_) {
+    if (st.waiting > 0 && st.waiting == stream_expected(st)) {
       do_exchange(st);
       st.waiting = 0;
       ++st.generation;
@@ -265,6 +410,7 @@ void Cluster::run(std::vector<Program> programs) {
   {
     std::unique_lock lk(mu_);
     expected_ = n_;
+    active_.assign(static_cast<std::size_t>(n_), 1);
     for (auto& [sid, st] : streams_) st.waiting = 0;
   }
   per_player_field_ops_.assign(n_, FieldCounters{});
@@ -284,7 +430,7 @@ void Cluster::run(std::vector<Program> programs) {
         if (!first_error) first_error = std::current_exception();
       }
       per_player_field_ops_[i] = field_counters() - before;
-      drop();
+      drop(i);
     });
   }
   for (auto& th : threads) th.join();

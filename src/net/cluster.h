@@ -17,9 +17,13 @@
 // that stream, so a player can be in round r of batch k's exposure while
 // round 1 of batch k+1's Bit-Gen deal is in flight — the pipelined
 // Coin-Gen scheduler (src/coin/coin_pipeline.h) is built on exactly this.
-// A stream's barrier fires when every active player thread is waiting on
-// it; the single-stream case degenerates to the old global barrier
-// bit-for-bit.
+// A stream's barrier fires when every active player of its domain roster
+// is waiting on it (by default: every active player — the single-stream
+// case degenerates to the old global barrier bit-for-bit). Stream
+// domains (`register_stream_domain`) carve contiguous stream ranges out
+// for player subsets — the transport under the Committee view in
+// net/committee.h, which is how K independent n-player committees share
+// one cluster.
 //
 // Determinism: every (player, stream) handle gets an independent ChaCha20
 // stream derived from (cluster seed, stream id, player id) — stream 0
@@ -47,6 +51,8 @@
 namespace dprbg {
 
 class Cluster;
+class Committee;
+class Endpoint;
 
 // Per-(player, stream) handle passed to the player's program. All methods
 // are called only from the thread currently driving that stream for that
@@ -60,6 +66,10 @@ class PartyIo {
   [[nodiscard]] Chacha& rng() { return rng_; }
   // The round stream this handle sends and receives on (0: root).
   [[nodiscard]] std::uint32_t stream() const { return stream_; }
+  // The committee (stream domain) this handle's stream belongs to — 0
+  // unless the stream falls in a range registered via
+  // Cluster::register_stream_domain (net/committee.h builds on this).
+  [[nodiscard]] std::uint32_t committee() const;
 
   // The per-(player, batch) handle for round stream `batch`, created on
   // first use (stable thereafter). `instance(0)` and `instance(stream())`
@@ -91,6 +101,7 @@ class PartyIo {
 
  private:
   friend class Cluster;
+  friend class Endpoint;  // steals the delivered inbox for id remapping
   PartyIo(Cluster& cluster, int id, std::uint64_t seed, std::uint32_t stream)
       : cluster_(cluster),
         id_(id),
@@ -114,6 +125,9 @@ class PartyIo {
 
   std::vector<Envelope>& staged_buffer() { return staged_; }
   void deliver(Inbox inbox) { inbox_ = std::move(inbox); }
+  // Moves the last delivered messages out (committee endpoints remap
+  // sender ids and re-deliver into their own inbox).
+  std::vector<Msg> take_inbox() { return std::move(inbox_).take_all(); }
 
   Cluster& cluster_;
   int id_;
@@ -165,6 +179,49 @@ class Cluster {
   // injector).
   [[nodiscard]] const FaultCounters& faults() const { return faults_; }
 
+  // -------------------------------------------------------------------
+  // Stream domains (committees).
+  //
+  // A domain carves out a contiguous slice of the round-stream id space
+  // for a subset of players: streams [first_stream, first_stream +
+  // stream_count) barrier over exactly `members` (instead of the whole
+  // cluster), may carry their own fault injector, and account injected
+  // faults separately. This is the transport half of the Committee view
+  // in net/committee.h — protocols never see it directly.
+  //
+  // Rules (DPRBG_CHECK-enforced): registration only while run() is not
+  // active; committee ids unique; stream ranges disjoint from other
+  // registered domains; members distinct and in [0, n). Streams outside
+  // every registered range stay in the default domain (committee 0, all
+  // players) — the unregistered cluster therefore behaves bit-for-bit as
+  // before. Re-registering a range over an already-opened stream (the
+  // root stream exists from construction) is allowed only before that
+  // stream's first exchange.
+  // -------------------------------------------------------------------
+  void register_stream_domain(std::uint32_t committee,
+                              std::uint32_t first_stream,
+                              std::uint32_t stream_count,
+                              const std::vector<int>& members);
+  // Installs a fault injector consulted for this domain's streams only
+  // (overriding the cluster-wide injector there). Same replay contract as
+  // set_fault_injector; rounds are still indexed per-stream.
+  void set_domain_fault_injector(std::uint32_t committee,
+                                 std::shared_ptr<const FaultInjector> injector);
+  // Fault effects charged to one domain's streams. For committee 0 with
+  // no registered domain this is the default domain, i.e. everything a
+  // plain cluster injects; summed over all domains it equals faults().
+  [[nodiscard]] const FaultCounters& domain_faults(
+      std::uint32_t committee) const;
+  // The committee id owning `stream` (0: default domain).
+  [[nodiscard]] std::uint32_t committee_of(std::uint32_t stream) const;
+  // Envelopes rejected because sender or receiver was outside the
+  // stream's domain roster. PartyIo handles are roster-guarded at
+  // creation and at sync, so like stale_rejections() this must stay 0 —
+  // a nonzero count means committee traffic leaked across rosters.
+  [[nodiscard]] std::uint64_t foreign_rejections() const {
+    return foreign_rejections_;
+  }
+
   // Simulated one-way link latency per lockstep exchange, in
   // microseconds. Zero (the default) reproduces the historical
   // compute-bound barrier. When nonzero, every thread sleeps this long
@@ -209,10 +266,23 @@ class Cluster {
 
  private:
   friend class PartyIo;
+  friend class Committee;  // opens member handles on committee streams
+
+  // A registered slice of the stream-id space (see the public section).
+  // The default domain has stream_count 0 (covers every unregistered
+  // stream) and an empty roster (meaning: all players).
+  struct StreamDomain {
+    std::uint32_t committee = 0;
+    std::uint32_t first_stream = 0;
+    std::uint32_t stream_count = 0;
+    std::vector<char> roster;  // indexed by player id; empty: everyone
+    std::shared_ptr<const FaultInjector> injector;  // nullptr: cluster-wide
+    FaultCounters faults;
+  };
 
   // One independent lockstep round stream. Streams share the cluster's
   // mutex and cv; each keeps its own barrier generation, exchange
-  // counter, delay queue, and member handles.
+  // counter, delay queue, member handles, and owning domain.
   struct RoundStream {
     std::uint32_t id = 0;
     int waiting = 0;
@@ -222,19 +292,32 @@ class Cluster {
     // Indexed by player id; nullptr until that player opens its handle
     // (a crashed player never does — its column is skipped).
     std::vector<PartyIo*> members;
+    StreamDomain* domain = nullptr;
   };
 
-  // Custom barrier with drop support: the last active thread to arrive on
+  // Custom barrier with drop support: the last roster thread to arrive on
   // a stream performs that stream's message exchange, then releases its
   // waiters. A player whose program returns "drops" — every stream's
   // barrier stops waiting for it, so crash-faulty or early-returning
   // programs cannot deadlock any round.
   void arrive_and_exchange(PartyIo& party);
-  void drop();
+  void drop(int player);
   void do_exchange(RoundStream& st);  // called with mu_ held
+
+  // Domain lookup/roster helpers (domain registration is forbidden while
+  // run() is active, so lock-free reads from player threads are safe).
+  StreamDomain& domain_of(std::uint32_t stream);
+  [[nodiscard]] const StreamDomain& domain_of(std::uint32_t stream) const;
+  static bool in_roster(const StreamDomain& d, int player) {
+    return d.roster.empty() || d.roster[static_cast<std::size_t>(player)] != 0;
+  }
+  // Threads a stream's barrier waits for: active players in its roster.
+  [[nodiscard]] int stream_expected(const RoundStream& st) const;
 
   // The (player, batch) handle, created on first use (with mu_ taken).
   PartyIo& instance_io(int player, std::uint32_t batch);
+  // Any-stream variant: stream 0 resolves to the root handle.
+  PartyIo& handle(int player, std::uint32_t stream);
 
   int n_;
   int t_;
@@ -247,9 +330,15 @@ class Cluster {
   std::mutex mu_;
   std::condition_variable cv_;
   int expected_ = 0;  // active (not yet returned) player threads
+  std::vector<char> active_;  // per-player: root program still running
   // Keyed by stream id; std::map keeps references stable while new
   // streams are opened mid-run.
   std::map<std::uint32_t, RoundStream> streams_;
+
+  StreamDomain default_domain_;
+  // unique_ptr keeps RoundStream::domain pointers stable across
+  // registrations.
+  std::vector<std::unique_ptr<StreamDomain>> domains_;
 
   CommCounters comm_;
   FieldCounters field_ops_;
@@ -258,6 +347,7 @@ class Cluster {
   std::shared_ptr<const FaultInjector> injector_;
   FaultCounters faults_;
   std::uint64_t stale_rejections_ = 0;
+  std::uint64_t foreign_rejections_ = 0;
   unsigned round_latency_us_ = 0;
 };
 

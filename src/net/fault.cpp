@@ -64,6 +64,23 @@ std::uint64_t FaultPlan::horizon() const {
   return faults_.empty() ? 0 : std::get<0>(faults_.rbegin()->first);
 }
 
+FaultPlan FaultPlan::remapped(const std::vector<int>& local_to_global) const {
+  auto remap = [&](int local) {
+    DPRBG_CHECK(local >= 0 &&
+                local < static_cast<int>(local_to_global.size()));
+    return local_to_global[static_cast<std::size_t>(local)];
+  };
+  FaultPlan out;
+  for (int c : charged_) out.charge(remap(c));
+  for (const auto& [key, specs] : faults_) {
+    const auto& [round, from, to] = key;
+    for (const FaultSpec& spec : specs) {
+      out.add(round, remap(from), remap(to), spec);
+    }
+  }
+  return out;
+}
+
 FaultPlan random_fault_plan(const FaultPlanParams& params,
                             std::uint64_t seed) {
   DPRBG_CHECK(params.n >= 2);

@@ -99,6 +99,14 @@ class FaultPlan {
   // Largest round with a registered fault (0 when empty).
   [[nodiscard]] std::uint64_t horizon() const;
 
+  // The same plan with every player id pushed through `local_to_global`
+  // (index = local id). Committees build plans against their local
+  // indices [0, committee n) and remap onto cluster player ids before
+  // installing the injector on their stream domain; rounds are already
+  // per-stream, so they translate unchanged.
+  [[nodiscard]] FaultPlan remapped(
+      const std::vector<int>& local_to_global) const;
+
  private:
   using Key = std::tuple<std::uint64_t, int, int>;  // (round, from, to)
   std::set<int> charged_;

@@ -76,6 +76,11 @@ class Inbox {
     return nullptr;
   }
 
+  // Moves the messages out (rvalue only: the inbox is spent afterwards).
+  // Committee endpoints use this to remap sender ids onto committee-local
+  // indices before re-wrapping the round's delivery.
+  [[nodiscard]] std::vector<Msg> take_all() && { return std::move(msgs_); }
+
   // All messages carrying `tag`, at most one per sender (first wins).
   [[nodiscard]] std::vector<const Msg*> with_tag(std::uint32_t tag) const {
     std::vector<const Msg*> out;

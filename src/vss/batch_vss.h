@@ -34,7 +34,7 @@
 #include "common/trace.h"
 #include "gf/field_concept.h"
 #include "gf/field_io.h"
-#include "net/cluster.h"
+#include "net/endpoint.h"
 #include "net/msg.h"
 #include "poly/berlekamp_welch.h"
 #include "poly/polynomial.h"
@@ -66,9 +66,9 @@ struct BatchVssOutcome {
 // broadcast and local decision (1 round). The dealer passes its M
 // polynomials; everyone else passes an empty span. `expected_m` is the
 // publicly known batch size M.
-template <FiniteField F>
+template <FiniteField F, NetEndpoint Io>
 BatchVssOutcome<F> batch_vss(
-    PartyIo& io, int dealer, unsigned t, unsigned expected_m,
+    Io& io, int dealer, unsigned t, unsigned expected_m,
     std::span<const Polynomial<F>> dealer_polys,
     const SealedCoin<F>& challenge_coin, unsigned instance = 0) {
   const std::uint32_t share_tag = make_tag(ProtoId::kBatchVss, instance, 0);
@@ -139,7 +139,7 @@ BatchVssOutcome<F> batch_vss(
   const auto decoded = berlekamp_welch<F>(points, t, max_errors);
   if (!decoded) {
     trace_point("batch-vss", "decode-fail", io.id(), io.rounds(),
-                "berlekamp-welch failed", io.stream());
+                "berlekamp-welch failed", io.stream(), io.committee());
     return out;
   }
   unsigned agreements = 0;

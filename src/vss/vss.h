@@ -29,7 +29,7 @@
 #include "common/trace.h"
 #include "gf/field_concept.h"
 #include "gf/field_io.h"
-#include "net/cluster.h"
+#include "net/endpoint.h"
 #include "net/msg.h"
 #include "poly/berlekamp_welch.h"
 #include "poly/polynomial.h"
@@ -55,9 +55,9 @@ struct VssOutcome {
 // `dealer_poly` must be set iff io.id() == dealer; a *cheating* dealer
 // passes a polynomial of degree > t (or sends inconsistent shares via a
 // custom program instead of calling this function).
-template <FiniteField F>
+template <FiniteField F, NetEndpoint Io>
 VssOutcome<F> vss_share_and_verify(
-    PartyIo& io, int dealer, unsigned t,
+    Io& io, int dealer, unsigned t,
     const std::optional<Polynomial<F>>& dealer_poly,
     const SealedCoin<F>& challenge_coin, unsigned instance = 0) {
   const std::uint32_t share_tag = make_tag(ProtoId::kVss, instance, 0);
@@ -141,7 +141,7 @@ VssOutcome<F> vss_share_and_verify(
     const auto decoded = berlekamp_welch<F>(points, t, max_errors);
     if (!decoded) {
       trace_point("vss", "decode-fail", io.id(), io.rounds(),
-                  "berlekamp-welch failed", io.stream());
+                  "berlekamp-welch failed", io.stream(), io.committee());
       return out;
     }
     // Require the decoded polynomial to explain >= n - t announcements.

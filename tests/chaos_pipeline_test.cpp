@@ -29,6 +29,7 @@ namespace {
 using F = GF2_64;
 using chaos::expect_honest_unanimous;
 using chaos::replay_note;
+using chaos::Trial;
 
 constexpr int kN = 7;
 constexpr unsigned kT = 1;
@@ -86,24 +87,15 @@ TEST(ChaosPipelineTest, OverlappedBatchesUnanimousAcross40FaultPlans) {
   unsigned batch_successes = 0;
   for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
     SCOPED_TRACE(replay_note(seed));
-    FaultPlanParams params;
-    params.n = kN;
-    params.t = kT;
-    params.rounds = 48;
-    params.fault_rate = 0.08;
-    FaultPlan plan = random_fault_plan(params, seed);
-    const std::set<int> charged = plan.charged();
-    Cluster cluster(kN, static_cast<int>(kT), seed);
-    cluster.set_fault_injector(
-        std::make_shared<FaultInjector>(std::move(plan)));
+    Trial trial(kN, kT, seed, /*rounds=*/48, /*rate=*/0.08);
 
-    const auto results = run_pipelined(cluster, seed);
-    expect_batches_unanimous(results, charged, seed);
-    EXPECT_EQ(cluster.stale_rejections(), 0u) << replay_note(seed);
+    const auto results = run_pipelined(trial.cluster, seed);
+    expect_batches_unanimous(results, trial.charged, seed);
+    EXPECT_EQ(trial.cluster.stale_rejections(), 0u) << replay_note(seed);
 
-    const int witness = charged.count(0) != 0 ? 1 : 0;
+    const int witness = trial.charged.count(0) != 0 ? 1 : 0;
     batch_successes += results[witness].successes();
-    fault_total += cluster.faults().total();
+    fault_total += trial.cluster.faults().total();
   }
   // The harness must genuinely hit the overlapped streams, and the
   // faulty-leader retry logic must ride out the vast majority of plans.

@@ -35,27 +35,7 @@ using F = GF2_64;
 using chaos::expect_gradecast_band;
 using chaos::expect_honest_unanimous;
 using chaos::replay_note;
-
-// One chaos trial: a cluster with a random plan charged to <= t players.
-struct Trial {
-  Cluster cluster;
-  std::set<int> charged;
-
-  Trial(int n, unsigned t, std::uint64_t seed, std::uint64_t rounds,
-        double rate, std::vector<int> never_charge = {})
-      : cluster(n, static_cast<int>(t), seed) {
-    FaultPlanParams params;
-    params.n = n;
-    params.t = t;
-    params.rounds = rounds;
-    params.fault_rate = rate;
-    params.never_charge = std::move(never_charge);
-    FaultPlan plan = random_fault_plan(params, seed);
-    charged = plan.charged();
-    cluster.set_fault_injector(
-        std::make_shared<FaultInjector>(std::move(plan)));
-  }
-};
+using chaos::Trial;
 
 // ---------------------------------------------------------------------
 // Coin-Gen: the acceptance criterion — >= 200 seeded plans, unanimous

@@ -12,13 +12,40 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "gradecast/gradecast.h"
+#include "net/cluster.h"
+#include "net/fault.h"
 
 namespace dprbg::chaos {
+
+// One chaos trial: a cluster with a random seeded link-fault plan
+// charged to <= t players. Shared by every chaos suite (soak, pipeline,
+// proactive) so the plan-building knobs stay in one place.
+struct Trial {
+  Cluster cluster;
+  std::set<int> charged;
+
+  Trial(int n, unsigned t, std::uint64_t seed, std::uint64_t rounds,
+        double rate, std::vector<int> never_charge = {})
+      : cluster(n, static_cast<int>(t), seed) {
+    FaultPlanParams params;
+    params.n = n;
+    params.t = t;
+    params.rounds = rounds;
+    params.fault_rate = rate;
+    params.never_charge = std::move(never_charge);
+    FaultPlan plan = random_fault_plan(params, seed);
+    charged = plan.charged();
+    cluster.set_fault_injector(
+        std::make_shared<FaultInjector>(std::move(plan)));
+  }
+};
 
 // Every chaos assertion carries this note: rerunning the test with the
 // printed seed reproduces the failing execution bit-for-bit.

@@ -1,0 +1,281 @@
+// Committee/Endpoint abstraction (net/committee.h).
+//
+// The load-bearing claim: the identity committee (committee #0, all
+// players, streams unshifted) is bit-for-bit the raw cluster — same
+// protocol outputs, same message/byte/round totals, same fault effects —
+// so lifting every protocol onto the NetEndpoint concept costs nothing
+// in the single-committee case. The remaining tests cover what committees
+// add: roster-scoped barriers (disjoint committees progress
+// independently), per-committee fault plans and ledgers reconciling
+// exactly with the cluster totals, and the foreign-roster backstop.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "chaos_util.h"
+#include "coin/coin_expose.h"
+#include "coin/coin_gen.h"
+#include "coin/coin_pipeline.h"
+#include "dprbg/coin_pool.h"
+#include "dprbg/trusted_dealer.h"
+#include "gf/gf2.h"
+#include "net/cluster.h"
+#include "net/committee.h"
+#include "net/fault.h"
+#include "vss/vss.h"
+
+namespace dprbg {
+namespace {
+
+using F = GF2_64;
+
+constexpr int kN = 7;
+constexpr unsigned kT = 1;
+constexpr unsigned kM = 2;
+constexpr unsigned kBatches = 4;
+constexpr std::uint64_t kSeed = 777;
+
+struct RunOutcome {
+  std::vector<PipelineResult<F>> results;  // per player
+  std::vector<std::optional<F>> exposed;   // per player, first coin
+  CommCounters comm;
+  std::uint64_t faults = 0;
+  std::uint64_t stale = 0;
+  std::uint64_t foreign = 0;
+};
+
+// The shared workload: a depth-2 pipelined Coin-Gen run plus one
+// exposure on the root stream — exercises root handles, per-batch
+// instances, sync, rng, and comm accounting.
+template <typename Io>
+void workload(Io& io, std::vector<std::vector<SealedCoin<F>>>& genesis,
+              RunOutcome& out) {
+  CoinPool<F> pool;
+  for (auto& c : genesis[io.id()]) pool.add(std::move(c));
+  PipelineOptions opts;
+  opts.depth = 2;
+  out.results[io.id()] = pipelined_coin_gen<F>(io, kM, pool, kBatches, opts);
+  const auto& first = out.results[io.id()].batches[0];
+  if (first.success) {
+    const auto sealed = first.sealed_coins(kT);
+    const SealedCoin<F> coin =
+        sealed.empty() ? SealedCoin<F>{std::nullopt, kT} : sealed[0];
+    out.exposed[io.id()] = coin_expose<F>(io, coin, /*instance=*/100);
+  }
+}
+
+RunOutcome run_raw(std::shared_ptr<FaultInjector> injector = nullptr) {
+  auto genesis = trusted_dealer_coins<F>(kN, kT, 32, kSeed);
+  RunOutcome out;
+  out.results.resize(kN);
+  out.exposed.resize(kN);
+  Cluster cluster(kN, static_cast<int>(kT), kSeed);
+  if (injector) cluster.set_fault_injector(std::move(injector));
+  cluster.run(std::vector<Cluster::Program>(
+      kN, [&](PartyIo& io) { workload(io, genesis, out); }));
+  out.comm = cluster.comm();
+  out.faults = cluster.faults().total();
+  out.stale = cluster.stale_rejections();
+  out.foreign = cluster.foreign_rejections();
+  return out;
+}
+
+RunOutcome run_identity_committee(std::optional<FaultPlan> plan = {}) {
+  auto genesis = trusted_dealer_coins<F>(kN, kT, 32, kSeed);
+  RunOutcome out;
+  out.results.resize(kN);
+  out.exposed.resize(kN);
+  Cluster cluster(kN, static_cast<int>(kT), kSeed);
+  Committee com(cluster);
+  if (plan) com.set_fault_injector(std::move(*plan));
+  cluster.run(std::vector<Cluster::Program>(kN, [&](PartyIo& io) {
+    Endpoint& ep = com.endpoint(io);
+    workload(ep, genesis, out);
+  }));
+  out.comm = cluster.comm();
+  out.faults = cluster.faults().total();
+  out.stale = cluster.stale_rejections();
+  out.foreign = cluster.foreign_rejections();
+  return out;
+}
+
+void expect_identical(const RunOutcome& a, const RunOutcome& b) {
+  for (int p = 0; p < kN; ++p) {
+    ASSERT_EQ(a.results[p].batches.size(), b.results[p].batches.size());
+    for (unsigned i = 0; i < kBatches; ++i) {
+      const auto& x = a.results[p].batches[i];
+      const auto& y = b.results[p].batches[i];
+      SCOPED_TRACE("player " + std::to_string(p) + " batch " +
+                   std::to_string(i));
+      EXPECT_EQ(x.success, y.success);
+      EXPECT_EQ(x.clique, y.clique);
+      EXPECT_EQ(x.summed_dealers, y.summed_dealers);
+      EXPECT_EQ(x.qualified, y.qualified);
+      EXPECT_EQ(x.iterations, y.iterations);
+      EXPECT_EQ(x.seed_coins_used, y.seed_coins_used);
+      ASSERT_EQ(x.coin_shares.size(), y.coin_shares.size());
+      for (std::size_t h = 0; h < x.coin_shares.size(); ++h) {
+        EXPECT_EQ(x.coin_shares[h], y.coin_shares[h]);
+      }
+    }
+    EXPECT_EQ(a.exposed[p], b.exposed[p]) << "player " << p;
+  }
+  EXPECT_EQ(a.comm.messages, b.comm.messages);
+  EXPECT_EQ(a.comm.bytes, b.comm.bytes);
+  EXPECT_EQ(a.comm.rounds, b.comm.rounds);
+  EXPECT_EQ(a.faults, b.faults);
+  EXPECT_EQ(a.stale, b.stale);
+  EXPECT_EQ(a.foreign, 0u);
+  EXPECT_EQ(b.foreign, 0u);
+}
+
+TEST(CommitteeTest, IdentityCommitteeBitForBitMatchesRawCluster) {
+  expect_identical(run_raw(), run_identity_committee());
+}
+
+TEST(CommitteeTest, IdentityCommitteeBitForBitUnderFaultPlan) {
+  FaultPlanParams params;
+  params.n = kN;
+  params.t = kT;
+  params.rounds = 48;
+  params.fault_rate = 0.08;
+  const FaultPlan plan = random_fault_plan(params, kSeed);
+  auto raw = run_raw(std::make_shared<FaultInjector>(FaultPlan(plan)));
+  auto via = run_identity_committee(FaultPlan(plan));
+  EXPECT_GT(raw.faults, 0u);  // the plan genuinely fired
+  expect_identical(raw, via);
+}
+
+// Disjoint committees: different protocols, different round counts, one
+// cluster — roster-scoped barriers mean neither blocks the other, and no
+// envelope crosses a roster (foreign_rejections() == 0 because sends are
+// structurally confined, not because the backstop fired).
+TEST(CommitteeTest, DisjointCommitteesProgressIndependently) {
+  const int total = 2 * kN;
+  Cluster cluster(total, static_cast<int>(kT), kSeed);
+  Committee::Options o0;
+  o0.id = 0;
+  o0.first_stream = 0;
+  o0.stream_count = 4096;
+  o0.t = static_cast<int>(kT);
+  Committee::Options o1 = o0;
+  o1.id = 1;
+  o1.first_stream = 4096;
+  std::vector<int> m0, m1;
+  for (int i = 0; i < kN; ++i) m0.push_back(i);
+  for (int i = kN; i < total; ++i) m1.push_back(i);
+  Committee com0(cluster, m0, o0);
+  Committee com1(cluster, m1, o1);
+
+  auto genesis0 = trusted_dealer_coins<F>(kN, kT, 8, kSeed);
+  auto genesis1 = trusted_dealer_coins<F>(kN, kT, 1, kSeed + 1);
+
+  // Committee 0: a full Coin-Gen (~10 rounds + BA). Committee 1: a
+  // 3-round VSS. Wildly different round counts on one cluster.
+  std::vector<CoinGenResult<F>> gen(kN);
+  std::vector<char> accepted(kN);
+  cluster.run(std::vector<Cluster::Program>(
+      total, [&](PartyIo& io) {
+        if (io.id() < kN) {
+          Endpoint& ep = com0.endpoint(io);
+          CoinPool<F> pool;
+          for (auto& c : genesis0[ep.id()]) pool.add(std::move(c));
+          gen[ep.id()] = coin_gen<F>(ep, kM, pool);
+        } else {
+          Endpoint& ep = com1.endpoint(io);
+          std::optional<Polynomial<F>> poly;
+          if (ep.id() == 0) poly = Polynomial<F>::random(kT, ep.rng());
+          const auto out = vss_share_and_verify<F>(
+              ep, /*dealer=*/0, kT, poly,
+              SealedCoin<F>{genesis1[ep.id()][0].share, kT});
+          accepted[ep.id()] = out.accepted;
+        }
+      }));
+
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_TRUE(gen[i].success) << "committee 0 player " << i;
+    EXPECT_EQ(gen[i].clique, gen[0].clique);
+    EXPECT_TRUE(accepted[i]) << "committee 1 player " << i;
+  }
+  EXPECT_EQ(cluster.stale_rejections(), 0u);
+  EXPECT_EQ(cluster.foreign_rejections(), 0u);
+}
+
+// Per-committee fault plans: each committee gets its own seeded plan in
+// LOCAL indices; effects land on that committee's ledger only, and the
+// ledgers plus the (injector-free) default domain reconcile exactly with
+// Cluster::faults().
+TEST(CommitteeTest, PerCommitteeFaultLedgersSumToClusterTotal) {
+  const int total = 2 * kN;
+  Cluster cluster(total, static_cast<int>(kT), kSeed);
+  Committee::Options o0;
+  o0.id = 0;
+  o0.first_stream = 0;
+  o0.stream_count = 4096;
+  o0.t = static_cast<int>(kT);
+  Committee::Options o1 = o0;
+  o1.id = 1;
+  o1.first_stream = 4096;
+  std::vector<int> m0, m1;
+  for (int i = 0; i < kN; ++i) m0.push_back(i);
+  for (int i = kN; i < total; ++i) m1.push_back(i);
+  Committee com0(cluster, m0, o0);
+  Committee com1(cluster, m1, o1);
+
+  FaultPlanParams params;
+  params.n = kN;
+  params.t = kT;
+  params.rounds = 24;
+  params.fault_rate = 0.10;
+  com0.set_fault_injector(random_fault_plan(params, kSeed + 10));
+  com1.set_fault_injector(random_fault_plan(params, kSeed + 20));
+
+  auto genesis = trusted_dealer_coins<F>(kN, kT, 8, kSeed);
+  std::vector<CoinGenResult<F>> gen(total);
+  cluster.run(std::vector<Cluster::Program>(
+      total, [&](PartyIo& io) {
+        Committee& com = io.id() < kN ? com0 : com1;
+        Endpoint& ep = com.endpoint(io);
+        CoinPool<F> pool;
+        for (auto& c : genesis[ep.id()]) pool.add(std::move(c));
+        gen[io.id()] = coin_gen<F>(ep, kM, pool);
+      }));
+
+  EXPECT_GT(com0.faults().total(), 0u);
+  EXPECT_GT(com1.faults().total(), 0u);
+  EXPECT_EQ(com0.faults().total() + com1.faults().total(),
+            cluster.faults().total());
+  EXPECT_EQ(cluster.foreign_rejections(), 0u);
+  // Same local plan seed != same effects: the plans were remapped onto
+  // disjoint global rosters and fire independently.
+}
+
+// Committee-local identity surface: ids, sizes, translations, streams.
+TEST(CommitteeTest, LocalGlobalTranslation) {
+  Cluster cluster(10, 1, kSeed);
+  Committee::Options opts;
+  opts.id = 3;
+  opts.first_stream = 8192;
+  opts.stream_count = 1024;
+  opts.t = 2;
+  Committee com(cluster, {7, 2, 9}, opts);
+  EXPECT_EQ(com.n(), 3);
+  EXPECT_EQ(com.t(), 2);
+  EXPECT_EQ(com.members(), (std::vector<int>{2, 7, 9}));
+  EXPECT_EQ(com.global_id(0), 2);
+  EXPECT_EQ(com.global_id(2), 9);
+  EXPECT_EQ(com.local_id(7), 1);
+  EXPECT_EQ(com.local_id(3), -1);
+  EXPECT_EQ(com.global_stream(0), 8192u);
+  EXPECT_EQ(com.global_stream(5), 8197u);
+  EXPECT_EQ(cluster.committee_of(8192), 3u);
+  EXPECT_EQ(cluster.committee_of(0), 0u);
+}
+
+}  // namespace
+}  // namespace dprbg

@@ -38,6 +38,23 @@ if echo "$pipeline_out" | grep '"stale"' | grep -qv '"stale": 0'; then
   exit 1
 fi
 
+echo "=== [check] sharded-beacon smoke (bench/beacon) ==="
+# Smoke run of E17 at K in {1,2}: honest players must agree on every
+# committee's coins ("success": "yes"), no envelope may cross batches
+# (stale 0) or committee rosters (foreign 0), and the per-committee
+# fault-ledger sum must reconcile with Cluster::faults() (the bench
+# exits nonzero itself on any of these).
+beacon_out="$(./build/bench/beacon --json --smoke)"
+echo "$beacon_out"
+if echo "$beacon_out" | grep '"success"' | grep -qv '"success": "yes"'; then
+  echo "check.sh: beacon committees disagreed or failed" >&2
+  exit 1
+fi
+if echo "$beacon_out" | grep '"foreign"' | grep -qv '"foreign": 0'; then
+  echo "check.sh: beacon reported cross-committee deliveries" >&2
+  exit 1
+fi
+
 if [[ "$mode" == "full" ]]; then
   echo "=== [check] sanitizer matrix ==="
   tools/sanitize.sh all
