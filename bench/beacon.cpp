@@ -18,6 +18,13 @@
 //
 // Flags: --json (machine-readable rows), --rtt-us=N (default 10000),
 // --smoke (K = 1, 2 only, for CI), --batches=N, --depth=N.
+//
+// --crash-committee switches to the E18 liveness bench instead: the
+// last committee crashes after its first batch, the failover monitor
+// (wall budget derived from the simulated rtt) evicts it, and the run
+// hard-fails unless the beacon keeps emitting from the survivors with
+// the output marked degraded and the degraded throughput within 25% of
+// the ideal (K-1)/K fraction of the healthy baseline at the same K.
 
 #include <chrono>
 #include <cstdio>
@@ -49,10 +56,12 @@ struct RunStats {
   std::uint64_t cluster_faults = 0;
   std::uint64_t committee_faults = 0;  // sum of per-committee ledgers
   bool success = false;
+  bool degraded = false;
+  bool crashed_evicted = false;  // crash mode: last committee evicted
 };
 
 RunStats run_beacon(unsigned k, unsigned batches, unsigned depth,
-                    unsigned rtt_us) {
+                    unsigned rtt_us, bool crash = false) {
   typename Beacon<F>::Options opts;
   opts.committees = k;
   opts.committee_size = kCommitteeSize;
@@ -62,6 +71,15 @@ RunStats run_beacon(unsigned k, unsigned batches, unsigned depth,
   opts.depth = depth;
   opts.seed = kSeed;
   opts.round_latency_us = rtt_us;
+  if (crash) {
+    // The last committee dies after its first batch; the wall-clock
+    // budget is derived from the simulated rtt so the monitor's view of
+    // "stalled" scales with the latency the links actually add.
+    opts.chaos.crash_committee = static_cast<int>(k) - 1;
+    opts.chaos.crash_at_batch = 1;
+    opts.failover.wall_budget_ms =
+        opts.failover.derive_wall_budget_ms(rtt_us);
+  }
   Beacon<F> beacon(opts);
 
   RunStats stats;
@@ -70,9 +88,21 @@ RunStats run_beacon(unsigned k, unsigned batches, unsigned depth,
   const auto stop = std::chrono::steady_clock::now();
   stats.wall_ms =
       std::chrono::duration<double, std::milli>(stop - start).count();
-  stats.coins =
-      static_cast<unsigned>(out.beacon.size()) * k;  // coins exposed total
+  if (crash) {
+    // Count only the per-committee exposures that actually backed the
+    // combined outputs: the popcount of each emitted window's mask.
+    for (std::uint32_t mask : out.window_mask) {
+      for (; mask; mask &= mask - 1) stats.coins += kM;
+    }
+  } else {
+    stats.coins =
+        static_cast<unsigned>(out.beacon.size()) * k;  // coins exposed total
+  }
   stats.success = out.success;
+  stats.degraded = out.degraded;
+  stats.crashed_evicted =
+      !out.committees.empty() &&
+      out.committees.back().health == CommitteeHealth::kEvicted;
   stats.stale = beacon.cluster().stale_rejections();
   stats.foreign = beacon.cluster().foreign_rejections();
   stats.cluster_faults = beacon.cluster().faults().total();
@@ -80,6 +110,80 @@ RunStats run_beacon(unsigned k, unsigned batches, unsigned depth,
     stats.committee_faults += beacon.committee(c).faults().total();
   }
   return stats;
+}
+
+// E18 liveness bench (--crash-committee): baseline and crashed runs at
+// the same K, hard-failing unless the survivors keep the beacon alive
+// at a sane fraction of the healthy rate. Returns the process exit code.
+int run_crash_bench(bool smoke, unsigned batches, unsigned depth,
+                    unsigned rtt_us) {
+  using namespace dprbg::bench;
+  const unsigned k = smoke ? 2u : 4u;
+
+  print_header(
+      "E18: beacon liveness under committee crash",
+      "a crashed committee is evicted by the failover monitor and "
+      "dropped whole from the XOR combination; the surviving K-1 "
+      "committees keep emitting, the output is marked degraded, and "
+      "throughput stays near the ideal (K-1)/K of the healthy baseline");
+
+  Table table({"mode", "K", "players", "batches", "depth", "coins",
+               "wall_ms", "coins_per_s", "rate_vs_baseline", "degraded",
+               "evicted", "success", "stale", "foreign"});
+  table.context("n", fmt(kCommitteeSize));
+  table.context("t", fmt(kCommitteeT));
+  table.context("M", fmt(kM));
+  table.context("rtt_us", fmt(rtt_us));
+
+  const RunStats base = run_beacon(k, batches, depth, rtt_us);
+  const double base_rate = base.coins / (base.wall_ms / 1000.0);
+  const RunStats cr = run_beacon(k, batches, depth, rtt_us, /*crash=*/true);
+  const double cr_rate = cr.coins / (cr.wall_ms / 1000.0);
+
+  auto row = [&](const char* mode, const RunStats& r, double rate) {
+    table.row({mode, fmt(k), fmt(k * kCommitteeSize), fmt(batches),
+               fmt(depth), fmt(r.coins), fmt(r.wall_ms), fmt(rate),
+               fmt(rate / base_rate), r.degraded ? "yes" : "no",
+               r.crashed_evicted ? "yes" : "no", r.success ? "yes" : "NO",
+               fmt(r.stale), fmt(r.foreign)});
+  };
+  row("baseline", base, base_rate);
+  row("crashed", cr, cr_rate);
+  table.print();
+
+  bool ok = true;
+  auto fail = [&](const char* msg) {
+    std::fprintf(stderr, "FAIL: %s\n", msg);
+    ok = false;
+  };
+  if (!base.success) fail("healthy baseline run not unanimous");
+  if (base.degraded) fail("healthy baseline run marked degraded");
+  if (!cr.success) fail("crashed run: survivors not unanimous");
+  if (!cr.degraded) fail("crashed run not marked degraded");
+  if (!cr.crashed_evicted) fail("crashed committee was not evicted");
+  if (cr.foreign != 0) fail("foreign-roster rejections in crashed run");
+  if (cr.committee_faults != cr.cluster_faults) {
+    fail("committee fault ledgers do not sum to cluster total");
+  }
+  // Liveness floor: survivors should deliver (K-1)/K of the healthy
+  // rate; allow 25% slack for scheduling noise on loaded hosts.
+  const double floor =
+      base_rate * (static_cast<double>(k - 1) / k) * 0.75;
+  if (cr_rate < floor) {
+    std::fprintf(stderr,
+                 "FAIL: degraded rate %.2f coins/s below liveness floor "
+                 "%.2f (baseline %.2f at K=%u)\n",
+                 cr_rate, floor, base_rate, k);
+    ok = false;
+  }
+  if (!ok) return 1;
+  if (!json_mode()) {
+    std::printf(
+        "\nshape check: the crashed run must stay within 25%% of the "
+        "ideal (K-1)/K rate fraction — the eviction costs one committee's "
+        "coins, never the survivors' wall-clock.\n");
+  }
+  return 0;
 }
 
 }  // namespace
@@ -96,9 +200,11 @@ int main(int argc, char** argv) {
   // on few-core hosts, so the latency term must dominate for the
   // sharding speedup (which hides latency, not compute) to show.
   unsigned rtt_us = 10000;
+  bool crash_mode = false;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg(argv[i]);
     if (arg == "--smoke") smoke = true;
+    if (arg == "--crash-committee") crash_mode = true;
     if (arg.rfind("--rtt-us=", 0) == 0) {
       rtt_us = static_cast<unsigned>(std::atoi(argv[i] + 9));
     }
@@ -109,6 +215,8 @@ int main(int argc, char** argv) {
       depth = static_cast<unsigned>(std::atoi(argv[i] + 8));
     }
   }
+
+  if (crash_mode) return run_crash_bench(smoke, batches, depth, rtt_us);
 
   print_header(
       "E17: sharded-beacon throughput vs committee count",

@@ -33,6 +33,18 @@
 //     batch's charge is the same contiguous pool block at any depth
 //     (returned unspent coins land at the pool's tail and are never
 //     re-charged).
+//
+// Failover (beacon_failover.h, DESIGN.md §11): every batch launch and
+// every exposure passes through a shared HealthBoard whose verdicts are
+// latched per (committee, batch), so a committee that blows its
+// wall-clock budget, crashes, or accumulates misbehavior is dropped from
+// the combination — entirely (the full-drop rule) — while the survivors
+// keep emitting. The combine below is window-aligned: output window b is
+// the XOR of every contributing committee's batch-b coins, with a
+// per-window contributor mask, and `degraded` marks any output that is
+// missing a committee. On the healthy path every gate is open and the
+// output is bit-for-bit the pre-failover beacon (the golden tests in
+// tests/beacon_test.cpp hold).
 
 #pragma once
 
@@ -42,9 +54,11 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "gf/field_concept.h"
 #include "net/cluster.h"
 #include "net/committee.h"
+#include "beacon/beacon_failover.h"
 #include "coin/coin_expose.h"
 #include "coin/coin_gen.h"
 #include "coin/coin_pipeline.h"
@@ -84,6 +98,12 @@ class Beacon {
     std::uint64_t seed = 0xBEAC04ull;
     // Simulated one-way per-round link latency (Cluster contract).
     unsigned round_latency_us = 0;
+    // Failover policy (beacon_failover.h). The defaults gate nothing on
+    // a healthy run: wall-clock monitoring and misbehavior scoring are
+    // both off until their budgets/thresholds are set.
+    FailoverPolicy failover;
+    // Scripted failures for tests and the liveness benchmark.
+    BeaconChaos chaos;
   };
 
   struct CommitteeOutcome {
@@ -93,14 +113,28 @@ class Beacon {
     unsigned batches_ok = 0;
     unsigned seed_coins_used = 0;
     bool unanimous = true;
+    // Final health verdicts from the HealthBoard.
+    CommitteeHealth health = CommitteeHealth::kLive;
+    EvictionReason reason = EvictionReason::kNone;
+    unsigned evicted_at = 0;
+    unsigned batches_done = 0;
   };
 
   struct Output {
     bool success = false;
-    // beacon[i] = sum over committees of committees[c].coins[i] (XOR in
-    // GF(2^k)); length = the shortest committee stream.
+    // Window-aligned combination: window b holds coins_per_batch values,
+    // each the XOR over the contributing committees' batch-b coins. On a
+    // healthy run this equals the flat XOR of the per-committee streams.
     std::vector<F> beacon;
+    // Per emitted window, the contributing-committee bitmask (bit c =
+    // committee c's batch went into that window).
+    std::vector<std::uint32_t> window_mask;
     std::vector<CommitteeOutcome> committees;
+    // True iff any committee left the live state or any emitted window
+    // is missing a live committee's contribution.
+    bool degraded = false;
+    // HealthBoard counters for the whole run.
+    HealthCounters health;
   };
 
   explicit Beacon(Options opts)
@@ -125,11 +159,16 @@ class Beacon {
       committees_.push_back(std::make_unique<Committee>(
           cluster_, std::move(members), copts));
     }
+    DPRBG_CHECK(opts_.chaos.crash_committee <
+                static_cast<int>(opts_.committees));
+    board_ = std::make_unique<HealthBoard>(opts_.committees, opts_.batches,
+                                           opts_.failover);
   }
 
   [[nodiscard]] Cluster& cluster() { return cluster_; }
   [[nodiscard]] Committee& committee(unsigned c) { return *committees_[c]; }
   [[nodiscard]] const Options& options() const { return opts_; }
+  [[nodiscard]] HealthBoard& board() { return *board_; }
 
   // Runs the full beacon round: per-committee pipelined Coin-Gen, then
   // committee-local exposure of every minted coin, then the XOR-combine.
@@ -147,57 +186,154 @@ class Beacon {
           committee_seed(opts_.seed, c));
     }
 
+    // Scripted evictions close their gates before anything launches.
+    for (const auto& [c, b] : opts_.chaos.scripted_evictions) {
+      board_->evict(c, b, EvictionReason::kScripted);
+    }
+    // Misbehavior scoring reads the committees' locked fault ledgers.
+    if (opts_.failover.misbehavior_threshold != 0) {
+      board_->set_score_fn([this](unsigned c) {
+        const Cluster::DomainLedger led = committees_[c]->ledger();
+        const FailoverPolicy& p = opts_.failover;
+        const std::uint64_t effects = led.faults.dropped +
+                                      led.faults.delayed +
+                                      led.faults.duplicated +
+                                      led.faults.corrupted;
+        return effects * p.fault_weight + led.stale * p.stale_weight +
+               led.foreign * p.foreign_weight;
+      });
+    }
+
     const int total = static_cast<int>(K) * n;
-    std::vector<std::vector<F>> exposed(total);
+    // exposed[player][batch] = that batch's exposed coin values (empty
+    // for failed/cancelled batches; the outer vector stays empty for
+    // members that crashed before the exposure phase).
+    std::vector<std::vector<std::vector<F>>> exposed(total);
     std::vector<PipelineResult<F>> results(total);
-    cluster_.run(std::vector<Cluster::Program>(
-        static_cast<std::size_t>(total), [&](PartyIo& io) {
-          const unsigned c = static_cast<unsigned>(io.id() / n);
-          Endpoint& ep = committees_[c]->endpoint(io);
-          CoinPool<F> pool;
-          for (auto& coin : genesis[c][ep.id()]) pool.add(std::move(coin));
-          PipelineResult<F> res = run_batches(ep, pool);
-          // Expose every minted coin on the committee's root stream.
-          // Coin-Gen decides batch success unanimously, so the exposure
-          // instance counter stays aligned across the committee.
-          std::vector<F> vals;
-          unsigned idx = 0;
-          for (const auto& batch : res.batches) {
-            if (!batch.success) continue;
-            for (const auto& coin :
-                 batch.sealed_coins(opts_.committee_t)) {
-              const auto v = coin_expose<F>(ep, coin, idx++);
-              if (v) vals.push_back(*v);
+    {
+      // The wall-clock watchdog lives exactly as long as the run (no-op
+      // thread unless failover.wall_budget_ms > 0).
+      BudgetMonitor monitor(*board_, K);
+      cluster_.run(std::vector<Cluster::Program>(
+          static_cast<std::size_t>(total), [&](PartyIo& io) {
+            const unsigned c = static_cast<unsigned>(io.id() / n);
+            const bool crashing =
+                opts_.chaos.crash_committee == static_cast<int>(c);
+            if (crashing && opts_.chaos.crash_at_batch == 0) return;
+            Endpoint& ep = committees_[c]->endpoint(io);
+            CoinPool<F> pool;
+            for (auto& coin : genesis[c][ep.id()]) pool.add(std::move(coin));
+            PipelineResult<F> res = run_batches(c, crashing, ep, pool);
+            const bool expose_ok = !crashing && board_->may_expose(c);
+            if (!expose_ok) {
+              results[io.id()] = std::move(res);
+              return;
             }
-          }
-          exposed[io.id()] = std::move(vals);
-          results[io.id()] = std::move(res);
-        }));
+            // Expose every minted coin on the committee's root stream.
+            // Coin-Gen decides batch success unanimously, so the exposure
+            // instance counter stays aligned across the committee.
+            std::vector<std::vector<F>> mine(opts_.batches);
+            unsigned idx = 0;
+            for (unsigned b = 0; b < res.batches.size(); ++b) {
+              if (!res.batches[b].success) continue;
+              for (const auto& coin :
+                   res.batches[b].sealed_coins(opts_.committee_t)) {
+                const auto v = coin_expose<F>(ep, coin, idx++);
+                if (v) mine[b].push_back(*v);
+              }
+            }
+            exposed[io.id()] = std::move(mine);
+            results[io.id()] = std::move(res);
+          }));
+    }
 
     Output out;
     out.committees.resize(K);
-    std::size_t min_len = exposed[0].size();
+    // Crash fallback: a committee that went silent without the monitor
+    // noticing (every member returned before exposing anything, with
+    // batches left to do) is evicted here so the combine drops it.
     for (unsigned c = 0; c < K; ++c) {
-      CommitteeOutcome& oc = out.committees[c];
-      oc.coins = exposed[static_cast<std::size_t>(c) * n];
-      for (int m = 1; m < n; ++m) {
-        if (exposed[static_cast<std::size_t>(c) * n + m] != oc.coins) {
-          oc.unanimous = false;
+      if (board_->health(c) == CommitteeHealth::kEvicted) continue;
+      if (board_->batches_done(c) >= opts_.batches) continue;
+      bool all_silent = true;
+      for (int m = 0; m < n; ++m) {
+        if (!exposed[static_cast<std::size_t>(c) * n + m].empty()) {
+          all_silent = false;
+          break;
         }
       }
-      oc.batches_ok = results[static_cast<std::size_t>(c) * n].successes();
-      oc.seed_coins_used =
-          results[static_cast<std::size_t>(c) * n].seed_coins_used;
-      min_len = std::min(min_len, oc.coins.size());
-    }
-    out.beacon.assign(min_len, F::zero());
-    out.success = min_len > 0;
-    for (unsigned c = 0; c < K; ++c) {
-      if (!out.committees[c].unanimous) out.success = false;
-      for (std::size_t i = 0; i < min_len; ++i) {
-        out.beacon[i] = out.beacon[i] + out.committees[c].coins[i];
+      if (all_silent) {
+        board_->evict(c, board_->batches_done(c), EvictionReason::kCrashed);
       }
     }
+
+    for (unsigned c = 0; c < K; ++c) {
+      CommitteeOutcome& oc = out.committees[c];
+      const std::size_t base = static_cast<std::size_t>(c) * n;
+      for (const auto& batch : exposed[base]) {
+        oc.coins.insert(oc.coins.end(), batch.begin(), batch.end());
+      }
+      for (int m = 1; m < n; ++m) {
+        if (exposed[base + m] != exposed[base]) oc.unanimous = false;
+      }
+      oc.batches_ok = results[base].successes();
+      oc.seed_coins_used = results[base].seed_coins_used;
+      oc.health = board_->health(c);
+      oc.reason = board_->reason(c);
+      oc.evicted_at = board_->evicted_at(c);
+      oc.batches_done = board_->batches_done(c);
+    }
+
+    // Window-aligned combine under the full-drop rule: an evicted
+    // committee contributes nothing (not even pre-eviction batches), so
+    // the degraded output is a pure function of the surviving set.
+    // Committee c contributes to window b iff every member reported an
+    // identical full batch of coins_per_batch values for it.
+    std::uint32_t full_mask = 0;
+    for (unsigned c = 0; c < K; ++c) {
+      if (out.committees[c].health != CommitteeHealth::kEvicted) {
+        full_mask |= 1u << c;
+      }
+    }
+    const std::size_t M = opts_.coins_per_batch;
+    for (unsigned b = 0; b < opts_.batches; ++b) {
+      std::uint32_t mask = 0;
+      std::vector<F> window(M, F::zero());
+      for (unsigned c = 0; c < K; ++c) {
+        if (out.committees[c].health == CommitteeHealth::kEvicted) continue;
+        const std::size_t base = static_cast<std::size_t>(c) * n;
+        bool ok = exposed[base].size() == opts_.batches &&
+                  exposed[base][b].size() == M;
+        for (int m = 1; ok && m < n; ++m) {
+          ok = exposed[base + m].size() == opts_.batches &&
+               exposed[base + m][b] == exposed[base][b];
+        }
+        if (!ok) continue;
+        mask |= 1u << c;
+        for (std::size_t i = 0; i < M; ++i) {
+          window[i] = window[i] + exposed[base][b][i];
+        }
+      }
+      if (mask == 0) continue;
+      out.window_mask.push_back(mask);
+      out.beacon.insert(out.beacon.end(), window.begin(), window.end());
+      if (mask != full_mask) {
+        out.degraded = true;
+        board_->note_degraded_window();
+      }
+    }
+
+    for (unsigned c = 0; c < K; ++c) {
+      if (out.committees[c].health != CommitteeHealth::kLive) {
+        out.degraded = true;
+      }
+    }
+    out.success = !out.beacon.empty();
+    for (unsigned c = 0; c < K; ++c) {
+      if (out.committees[c].health == CommitteeHealth::kEvicted) continue;
+      if (!out.committees[c].unanimous) out.success = false;
+    }
+    out.health = board_->counters();
     return out;
   }
 
@@ -209,12 +345,27 @@ class Beacon {
   // Depth-invariant batch schedule (see header comment): batch b always
   // runs on committee-local stream 1+b with the pipelined scheduler's
   // up-front seed-coin charge; depth only changes how many overlap.
-  PipelineResult<F> run_batches(Endpoint& ep, CoinPool<F>& pool) {
+  // Every launch consults the HealthBoard's latched gate (plus the
+  // scripted crash cutoff), every join reports progress — in both the
+  // pipelined and the serial schedule, so failover behaves identically
+  // at any depth.
+  PipelineResult<F> run_batches(unsigned c, bool crashing, Endpoint& ep,
+                                CoinPool<F>& pool) {
+    const unsigned crash_at = opts_.chaos.crash_at_batch;
+    auto gate = [this, c, crashing, crash_at](unsigned b) {
+      if (crashing && b >= crash_at) return false;
+      return board_->may_launch(c, b);
+    };
+    auto heartbeat = [this, c](unsigned b) {
+      board_->report_batch_done(c, b);
+    };
     PipelineOptions popts;
     popts.depth = opts_.depth;
     popts.first_batch_id = 1;
     popts.leader_coins = opts_.leader_coins;
     popts.max_iterations = opts_.max_iterations;
+    popts.may_launch = gate;
+    popts.on_batch_joined = heartbeat;
     if (opts_.depth > 1) {
       return pipelined_coin_gen<F>(ep, opts_.coins_per_batch, pool,
                                    opts_.batches, popts);
@@ -222,13 +373,19 @@ class Beacon {
     PipelineResult<F> res;
     res.batches.resize(opts_.batches);
     for (unsigned b = 0; b < opts_.batches; ++b) {
+      if (!gate(b)) {
+        res.cancelled = true;
+        break;
+      }
       CoinPool<F> sub;
       sub.add_batch(pool.take_batch(std::min<std::size_t>(
           1 + opts_.leader_coins, pool.remaining())));
       res.batches[b] = coin_gen<F>(ep.instance(1 + b), opts_.coins_per_batch,
                                    sub, opts_.max_iterations);
       res.seed_coins_used += res.batches[b].seed_coins_used;
+      ++res.launched;
       if (!sub.empty()) pool.add_batch(sub.take_batch(sub.remaining()));
+      heartbeat(b);
     }
     return res;
   }
@@ -236,6 +393,7 @@ class Beacon {
   Options opts_;
   Cluster cluster_;
   std::vector<std::unique_ptr<Committee>> committees_;
+  std::unique_ptr<HealthBoard> board_;
 };
 
 }  // namespace dprbg

@@ -34,6 +34,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <exception>
+#include <functional>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -62,6 +63,19 @@ struct PipelineOptions {
   unsigned leader_coins = 3;
   // Forwarded to coin_gen (cap on BA iterations per batch).
   unsigned max_iterations = 16;
+  // Launch gate: consulted once per batch index, in batch order, right
+  // before that batch would be launched. Returning false stops the
+  // pipeline — the gated batch and everything after it never run (their
+  // result slots stay default, success=false) and `cancelled` is set.
+  // The verdict MUST be identical across all players for a given batch
+  // index, or the per-batch roster barriers deadlock; the beacon layer
+  // guarantees this by latching verdicts in a shared HealthBoard
+  // (beacon/beacon_failover.h). Empty = always launch.
+  std::function<bool(unsigned)> may_launch;
+  // Heartbeat: invoked on the driving thread after batch b has been
+  // joined and drained (in batch order). The failover monitor uses it as
+  // the committee's progress signal. Empty = no reporting.
+  std::function<void(unsigned)> on_batch_joined;
 };
 
 template <FiniteField F>
@@ -72,6 +86,11 @@ struct PipelineResult {
   // Seed coins actually consumed across all batches (unspent charges are
   // returned to the pool and not counted).
   unsigned seed_coins_used = 0;
+  // Batches actually launched (== batches.size() unless the launch gate
+  // closed the pipeline early).
+  unsigned launched = 0;
+  // True iff opts.may_launch stopped the pipeline before every batch ran.
+  bool cancelled = false;
 
   [[nodiscard]] unsigned successes() const {
     unsigned s = 0;
@@ -97,8 +116,14 @@ PipelineResult<F> pipelined_coin_gen(Io& io, unsigned m,
 
   if (opts.depth <= 1) {
     for (unsigned b = 0; b < batches; ++b) {
+      if (opts.may_launch && !opts.may_launch(b)) {
+        result.cancelled = true;
+        break;
+      }
       result.batches[b] = coin_gen<F>(io, m, pool, opts.max_iterations, ba);
       result.seed_coins_used += result.batches[b].seed_coins_used;
+      ++result.launched;
+      if (opts.on_batch_joined) opts.on_batch_joined(b);
     }
     return result;
   }
@@ -134,11 +159,25 @@ PipelineResult<F> pipelined_coin_gen(Io& io, unsigned m,
     });
   };
 
+  // Launch through the gate: once it closes, no further batch starts
+  // (every player sees the same latched verdict, so all of them stop
+  // launching at the same index and the join loop drains what's left).
+  unsigned next_launch = 0;
+  auto try_launch = [&] {
+    if (result.cancelled || next_launch >= batches) return;
+    if (opts.may_launch && !opts.may_launch(next_launch)) {
+      result.cancelled = true;
+      return;
+    }
+    launch(next_launch);
+    ++next_launch;
+  };
+
   const unsigned window = std::min(opts.depth, batches);
-  for (unsigned b = 0; b < window; ++b) launch(b);
+  for (unsigned i = 0; i < window; ++i) try_launch();
 
   std::exception_ptr first_error;
-  for (unsigned b = 0; b < batches; ++b) {
+  for (unsigned b = 0; b < next_launch; ++b) {  // next_launch grows below
     InFlight& fl = flight[b];
     fl.th.join();
     field_counters() += fl.ops;
@@ -148,9 +187,10 @@ PipelineResult<F> pipelined_coin_gen(Io& io, unsigned m,
     if (!fl.subpool.empty()) {
       pool.add_batch(fl.subpool.take_batch(fl.subpool.remaining()));
     }
-    const unsigned next = b + window;
-    if (next < batches) launch(next);
+    if (opts.on_batch_joined) opts.on_batch_joined(b);
+    try_launch();
   }
+  result.launched = next_launch;
   if (first_error) std::rethrow_exception(first_error);
   return result;
 }

@@ -73,6 +73,12 @@ void trace_point(std::string_view protocol, std::string_view phase,
   t.record(std::move(ev));
 }
 
+void trace_beacon(std::string_view phase, std::uint32_t committee,
+                  std::string detail) {
+  trace_point("beacon", phase, /*player=*/-1, /*round=*/0, std::move(detail),
+              /*batch=*/0, committee);
+}
+
 namespace {
 
 void append_escaped(std::string& out, std::string_view s) {

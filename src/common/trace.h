@@ -119,6 +119,14 @@ void trace_point(std::string_view protocol, std::string_view phase,
                  int player, std::uint64_t round, std::string detail = {},
                  std::uint32_t batch = 0, std::uint32_t committee = 0);
 
+// Beacon failover / epoch vocabulary (beacon_failover.h): cluster-level
+// point events under protocol "beacon" with phase in {"health", "evict",
+// "epoch"} and `committee` the affected roster. These are control-plane
+// events (eviction verdicts, roster hand-offs), not lockstep-round
+// events, so they carry no round stamp.
+void trace_beacon(std::string_view phase, std::uint32_t committee,
+                  std::string detail = {});
+
 // RAII span over one protocol phase. `Io` must expose id(), rounds() (sync
 // count so far), and sent() (CommCounters). Captures nothing when the
 // tracer is disabled; close() (or destruction) records the deltas.

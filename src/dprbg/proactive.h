@@ -24,9 +24,16 @@
 // Model: Section 3 (n >= 3t+1, broadcast for the combination values), as
 // with coin_gen_broadcast; the full point-to-point treatment would reuse
 // Coin-Gen's clique/grade-cast/BA machinery verbatim.
+//
+// The second protocol here, cross_roster_reshare, extends the same batch
+// trick from "re-randomize within one roster" to "move the sharing to a
+// DIFFERENT roster": epoch reconfiguration for the sharded beacon
+// (beacon/beacon_failover.h), where a retiring committee hands its
+// sealed CoinPool to its replacement without ever exposing the coins.
 
 #pragma once
 
+#include <map>
 #include <span>
 #include <vector>
 
@@ -110,6 +117,204 @@ RefreshResult<F> proactive_refresh(Io& io,
       refreshed.share = *refreshed.share + delta;
     }
     result.coins.push_back(refreshed);
+  }
+  result.success = true;
+  return result;
+}
+
+template <FiniteField F>
+struct ReshareResult {
+  bool success = false;
+  // Old-roster dealers whose reshare batch verified (degree <= t_new).
+  std::vector<int> accepted_dealers;
+  // The first t_old+1 accepted dealers, whose constant terms determine
+  // the migrated secrets.
+  std::vector<int> resharers;
+  // New members: the migrated coins (same values, degree-t_new sharings
+  // over the NEW roster). Old members: shareless views of the same coins
+  // — their old shares are dead after the epoch and must not be reused.
+  std::vector<SealedCoin<F>> coins;
+};
+
+// Cross-roster reshare: moves the sharings of `coins` from an old roster
+// to a new one without reconstructing any coin. Runs over a BRIDGE
+// committee holding the union of both rosters, with the old roster's
+// members occupying union-local ids 0..n_old-1 and the new roster's
+// members n_old..n-1 (new-local id j = union id n_old + j).
+//
+// Protocol (2 rounds, one challenge coin):
+//   Dealer i (old member holding shares of all m coins): draws one
+//   uniform degree-t_new blinder plus, per coin h, a uniform degree-t_new
+//   polynomial with constant term = its OWN share f_h(x_i); sends new
+//   member j the batch evaluated at j's NEW-local point.      [1 round]
+//   All:    r <- Coin-Expose(challenge) on the union (new members hold
+//           no share of the challenge but still learn it).
+//   New j:  sends everyone the Horner combination per dealer. [1 round]
+//   All:    Berlekamp-Welch each dealer's combination over the NEW
+//           roster's points; accepted iff deg <= t_new. By the Lemma 3
+//           root argument one challenge certifies the whole batch with
+//           error <= (m+1)/p.
+//   New j:  for the first t_old+1 accepted dealers, Lagrange-combines
+//           their rows at 0 over the OLD points: g_h = sum_i lambda_i
+//           h_{i,h} has degree <= t_new and g_h(0) = f_h(0) exactly
+//           (t_old+1 points determine the degree-t_old f_h), so j's new
+//           share is sum_i lambda_i h_{i,h}(x_j).
+//
+// Secrecy: every g_h is blinded by the honest resharers' fresh
+// randomness, so <= t_new new members plus the retired old shares reveal
+// nothing (HJKY-style, as with proactive_refresh). Same Section 3 model
+// caveat: combination values travel point-to-point where the paper
+// assumes broadcast; the full treatment would reuse Coin-Gen's
+// clique/grade-cast/BA machinery. Requires n_new >= 3t_new+1 and
+// t_old+1 <= n_old surviving dealers.
+//
+// All players pass their views of the same coins in the same order; new
+// members (who hold no old shares) pass shareless views with the correct
+// degree.
+template <FiniteField F, NetEndpoint Io>
+ReshareResult<F> cross_roster_reshare(Io& io, int n_old, unsigned t_new,
+                                      std::span<const SealedCoin<F>> coins,
+                                      const SealedCoin<F>& challenge_coin,
+                                      unsigned instance = 0) {
+  ReshareResult<F> result;
+  const int n_new = io.n() - n_old;
+  DPRBG_CHECK(n_old >= 1);
+  DPRBG_CHECK(n_new >= static_cast<int>(3 * t_new + 1));
+  const unsigned m = static_cast<unsigned>(coins.size());
+  DPRBG_CHECK(m >= 1);
+  const unsigned t_old = coins[0].degree;
+  for (const auto& c : coins) DPRBG_CHECK(c.degree == t_old);
+  DPRBG_CHECK(static_cast<int>(t_old + 1) <= n_old);
+  const unsigned m_total = m + 1;  // blinder at index 0
+
+  const std::uint32_t row_tag = make_tag(ProtoId::kReshare, instance, 0);
+  const std::uint32_t combo_tag = make_tag(ProtoId::kReshare, instance, 1);
+  const bool old_side = io.id() < n_old;
+
+  // Round A: old-side dealers distribute rows to the new roster (a
+  // dealer participates only if it holds shares of ALL m coins — partial
+  // holders would leak which coins they hold through presence patterns).
+  {
+    TraceSpan deal(io, "reshare", "deal");
+    bool holds_all = old_side;
+    for (const auto& c : coins) holds_all = holds_all && c.share.has_value();
+    if (holds_all) {
+      std::vector<Polynomial<F>> polys;
+      polys.reserve(m_total);
+      polys.push_back(Polynomial<F>::random(t_new, io.rng()));
+      for (const auto& c : coins) {
+        polys.push_back(
+            Polynomial<F>::random_with_secret(*c.share, t_new, io.rng()));
+      }
+      for (int j = 0; j < n_new; ++j) {
+        ByteWriter w;
+        for (const auto& f : polys) write_elem(w, f(eval_point<F>(j)));
+        io.send(n_old + j, row_tag, std::move(w).take());
+      }
+    }
+  }
+
+  // The challenge exposure rides the same round as the rows; the dealers
+  // committed before anyone could know r.
+  TraceSpan challenge(io, "reshare", "challenge");
+  const std::optional<F> r_val = coin_expose<F>(io, challenge_coin, instance);
+  challenge.close();
+
+  // New members harvest their rows (indexed by dealer = old-local id).
+  std::vector<std::vector<F>> rows(static_cast<std::size_t>(n_old));
+  if (!old_side) {
+    for (int dealer = 0; dealer < n_old; ++dealer) {
+      if (const Msg* msg = io.inbox().from(dealer, row_tag)) {
+        if (auto row = decode_elem_row<F>(msg->body, m_total)) {
+          rows[static_cast<std::size_t>(dealer)] = std::move(*row);
+        }
+      }
+    }
+  }
+  if (!r_val.has_value()) {
+    io.sync();
+    return result;
+  }
+
+  // Round B: new members send everyone the batched combinations (the
+  // bit_gen_all wire format: presence flag + beta per dealer). Old
+  // members receive them too, so both sides agree on the accepted set.
+  TraceSpan combine(io, "reshare", "combine");
+  if (!old_side) {
+    ByteWriter w;
+    for (int dealer = 0; dealer < n_old; ++dealer) {
+      const auto& row = rows[static_cast<std::size_t>(dealer)];
+      w.u8(row.empty() ? 0 : 1);
+      write_elem(w,
+                 row.empty() ? F::zero() : batch_combine<F>(row, *r_val));
+    }
+    io.send_all(combo_tag, w.data());
+  }
+  const Inbox& in = io.sync();
+  combine.close();
+
+  // Decode each dealer's combination over the NEW roster's eval points:
+  // combos are keyed by NEW-local sender id so decode_combination's
+  // eval_point(sender) lands on the points the dealers evaluated at.
+  TraceSpan decode(io, "reshare", "decode");
+  std::vector<std::map<int, F>> combos(static_cast<std::size_t>(n_old));
+  for (const Msg* msg : in.with_tag(combo_tag)) {
+    if (msg->from < n_old) continue;  // only the new roster combines
+    const auto batch = bitgen_detail::decode_combo_batch<F>(msg->body, n_old);
+    if (!batch) continue;  // malformed: drop sender from every instance
+    for (int dealer = 0; dealer < n_old; ++dealer) {
+      if ((*batch)[dealer]) {
+        combos[static_cast<std::size_t>(dealer)].emplace(
+            msg->from - n_old, *(*batch)[dealer]);
+      }
+    }
+  }
+  for (int dealer = 0; dealer < n_old; ++dealer) {
+    const auto poly = bitgen_detail::decode_combination<F>(
+        combos[static_cast<std::size_t>(dealer)], n_new, t_new);
+    if (poly.has_value()) result.accepted_dealers.push_back(dealer);
+  }
+  if (result.accepted_dealers.size() < t_old + 1) return result;
+  result.resharers.assign(result.accepted_dealers.begin(),
+                          result.accepted_dealers.begin() + t_old + 1);
+
+  result.coins.reserve(m);
+  if (old_side) {
+    // The old shares are now dead: the new roster holds the live
+    // sharing. Old members keep shareless views (they still learn coin
+    // values at expose time, as any non-holder does).
+    for (unsigned h = 0; h < m; ++h) {
+      result.coins.push_back(SealedCoin<F>{std::nullopt, t_new});
+    }
+    result.success = true;
+    return result;
+  }
+
+  for (int dealer : result.resharers) {
+    if (rows[static_cast<std::size_t>(dealer)].empty()) return result;
+  }
+  // Lagrange coefficients at 0 over the resharers' OLD eval points:
+  // lambda_i = prod_{k != i} x_k / (x_k - x_i).
+  std::vector<F> lambda;
+  lambda.reserve(result.resharers.size());
+  for (std::size_t i = 0; i < result.resharers.size(); ++i) {
+    const F xi = eval_point<F>(result.resharers[i]);
+    F li = F::one();
+    for (std::size_t k = 0; k < result.resharers.size(); ++k) {
+      if (k == i) continue;
+      const F xk = eval_point<F>(result.resharers[k]);
+      li = li * (xk / (xk - xi));
+    }
+    lambda.push_back(li);
+  }
+  for (unsigned h = 0; h < m; ++h) {
+    F share = F::zero();
+    for (std::size_t i = 0; i < result.resharers.size(); ++i) {
+      const auto& row =
+          rows[static_cast<std::size_t>(result.resharers[i])];
+      share = share + lambda[i] * row[h + 1];
+    }
+    result.coins.push_back(SealedCoin<F>{share, t_new});
   }
   result.success = true;
   return result;

@@ -185,6 +185,35 @@ const FaultCounters& Cluster::domain_faults(std::uint32_t committee) const {
   return default_domain_.faults;
 }
 
+Cluster::DomainLedger Cluster::domain_ledger(std::uint32_t committee) const {
+  std::lock_guard lk(mu_);
+  const StreamDomain* dom = nullptr;
+  for (const auto& d : domains_) {
+    if (d->committee == committee) {
+      dom = d.get();
+      break;
+    }
+  }
+  if (dom == nullptr) {
+    DPRBG_CHECK(committee == 0);
+    dom = &default_domain_;
+  }
+  return DomainLedger{dom->faults, dom->stale, dom->foreign};
+}
+
+void Cluster::set_domain_round_latency_us(std::uint32_t committee, int us) {
+  std::lock_guard lk(mu_);
+  DPRBG_CHECK(expected_ == 0);  // never while run() is active
+  for (auto& d : domains_) {
+    if (d->committee == committee) {
+      d->round_latency_us = us;
+      return;
+    }
+  }
+  DPRBG_CHECK(committee == 0);
+  default_domain_.round_latency_us = us;
+}
+
 PartyIo& Cluster::instance_io(int player, std::uint32_t batch) {
   // The wire header encodes the stream id as a uint16 (kHeaderBytes
   // above); every nonzero-stream envelope is staged via a handle created
@@ -246,6 +275,7 @@ void Cluster::do_exchange(RoundStream& st) {
   auto admit = [&](int to, Msg&& msg) {
     if (msg.batch != st.id) {
       ++stale_rejections_;
+      ++dom.stale;
       if (trace_on) {
         trace_point("net", "stale", to, round,
                     "from=" + std::to_string(msg.from) +
@@ -256,6 +286,7 @@ void Cluster::do_exchange(RoundStream& st) {
     }
     if (!in_roster(dom, msg.from) || !in_roster(dom, to)) {
       ++foreign_rejections_;
+      ++dom.foreign;
       if (trace_on) {
         trace_point("net", "foreign", to, round,
                     "from=" + std::to_string(msg.from), local_batch,
@@ -346,6 +377,7 @@ void Cluster::do_exchange(RoundStream& st) {
 }
 
 void Cluster::arrive_and_exchange(PartyIo& party) {
+  unsigned latency = round_latency_us_;
   {
     std::unique_lock lk(mu_);
     RoundStream& st = streams_.at(party.stream_);
@@ -353,6 +385,9 @@ void Cluster::arrive_and_exchange(PartyIo& party) {
     // player (instance_io already guards creation; this catches root
     // handles syncing on a stream 0 that a committee claimed).
     DPRBG_CHECK(in_roster(*st.domain, party.id_));
+    if (st.domain->round_latency_us >= 0) {
+      latency = static_cast<unsigned>(st.domain->round_latency_us);
+    }
     ++st.waiting;
     if (st.waiting == stream_expected(st)) {
       do_exchange(st);
@@ -364,11 +399,11 @@ void Cluster::arrive_and_exchange(PartyIo& party) {
       cv_.wait(lk, [&] { return st.generation != gen; });
     }
   }
-  if (round_latency_us_ != 0) {
+  if (latency != 0) {
     // One simulated network traversal per round, paid by every member
     // concurrently (outside the lock, so other streams keep exchanging —
     // this is what overlapped batches hide).
-    std::this_thread::sleep_for(std::chrono::microseconds(round_latency_us_));
+    std::this_thread::sleep_for(std::chrono::microseconds(latency));
   }
 }
 

@@ -212,6 +212,17 @@ class Cluster {
   // plain cluster injects; summed over all domains it equals faults().
   [[nodiscard]] const FaultCounters& domain_faults(
       std::uint32_t committee) const;
+  // A locked snapshot of one domain's misbehavior ledger — link-fault
+  // effects plus the demux rejections charged to its streams. Unlike
+  // domain_faults() (a reference the exchanges keep mutating), this is
+  // safe to poll from a monitor thread while run() is active; the
+  // beacon's eviction score (beacon_failover.h) reads exactly this.
+  struct DomainLedger {
+    FaultCounters faults;
+    std::uint64_t stale = 0;    // stale-tag rejections on this domain
+    std::uint64_t foreign = 0;  // foreign-roster rejections on this domain
+  };
+  [[nodiscard]] DomainLedger domain_ledger(std::uint32_t committee) const;
   // The committee id owning `stream` (0: default domain).
   [[nodiscard]] std::uint32_t committee_of(std::uint32_t stream) const;
   // Envelopes rejected because sender or receiver was outside the
@@ -233,6 +244,13 @@ class Cluster {
   [[nodiscard]] unsigned round_latency_us() const {
     return round_latency_us_;
   }
+  // Per-domain override of the simulated round latency: a slow committee
+  // on an otherwise fast cluster (the failover chaos tests and the
+  // crash-committee bench model stalls exactly this way). -1 (the
+  // default) inherits the cluster-wide value; committee 0 with no
+  // registered domain addresses the default domain. Must not be called
+  // while run() is active.
+  void set_domain_round_latency_us(std::uint32_t committee, int us);
 
   // Envelopes whose wire batch id did not match the stream being
   // exchanged, rejected by the demux instead of delivered. PartyIo
@@ -278,6 +296,12 @@ class Cluster {
     std::vector<char> roster;  // indexed by player id; empty: everyone
     std::shared_ptr<const FaultInjector> injector;  // nullptr: cluster-wide
     FaultCounters faults;
+    // Demux rejections charged to this domain's streams (also summed into
+    // the cluster-wide counters).
+    std::uint64_t stale = 0;
+    std::uint64_t foreign = 0;
+    // Simulated round latency override; -1 inherits the cluster's value.
+    int round_latency_us = -1;
   };
 
   // One independent lockstep round stream. Streams share the cluster's
@@ -327,7 +351,7 @@ class Cluster {
   std::map<std::pair<int, std::uint32_t>, std::unique_ptr<PartyIo>>
       instances_;  // per-batch handles, stable for the cluster's lifetime
 
-  std::mutex mu_;
+  mutable std::mutex mu_;  // domain_ledger() snapshots under the lock
   std::condition_variable cv_;
   int expected_ = 0;  // active (not yet returned) player threads
   std::vector<char> active_;  // per-player: root program still running

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/trace.h"
 
 namespace dprbg {
 
@@ -101,6 +102,30 @@ void Committee::set_fault_injector(FaultPlan local_plan,
 
 const FaultCounters& Committee::faults() const {
   return cluster_.domain_faults(opts_.id);
+}
+
+Cluster::DomainLedger Committee::ledger() const {
+  return cluster_.domain_ledger(opts_.id);
+}
+
+void Committee::set_round_latency_us(int us) {
+  cluster_.set_domain_round_latency_us(opts_.id, us);
+}
+
+void Committee::begin_drain() {
+  RosterState expected = RosterState::kActive;
+  if (state_.compare_exchange_strong(expected, RosterState::kDraining,
+                                     std::memory_order_acq_rel)) {
+    trace_beacon("epoch", opts_.id, "state=draining");
+  }
+}
+
+void Committee::retire() {
+  // Valid from kActive or kDraining; retiring twice is a no-op.
+  if (state_.exchange(RosterState::kRetired, std::memory_order_acq_rel) !=
+      RosterState::kRetired) {
+    trace_beacon("epoch", opts_.id, "state=retired");
+  }
 }
 
 CommCounters Committee::comm() const {

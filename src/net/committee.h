@@ -28,6 +28,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -151,6 +152,30 @@ class Committee {
   // committees (plus the default domain) this equals Cluster::faults().
   [[nodiscard]] const FaultCounters& faults() const;
 
+  // Locked snapshot of this committee's misbehavior ledger — link-fault
+  // effects plus stale/foreign demux rejections on its streams. Safe to
+  // poll from a monitor thread mid-run; the beacon failover layer's
+  // eviction score (beacon_failover.h) is a weighted sum of exactly
+  // these counters.
+  [[nodiscard]] Cluster::DomainLedger ledger() const;
+
+  // Per-committee simulated round latency override (Cluster contract;
+  // -1 inherits the cluster-wide value). Models a slow roster on an
+  // otherwise fast cluster. Must not be called while a run is active.
+  void set_round_latency_us(int us);
+
+  // Roster lifecycle for epoch reconfiguration (beacon_failover.h).
+  // Forward-only: kActive (serving) -> kDraining (finishing in-flight
+  // batches, pool migration underway) -> kRetired (shares migrated away;
+  // the roster must not expose or deal again). The state is bookkeeping
+  // for epoch drivers — the transport itself keeps working in any state.
+  enum class RosterState : std::uint8_t { kActive, kDraining, kRetired };
+  [[nodiscard]] RosterState state() const {
+    return state_.load(std::memory_order_acquire);
+  }
+  void begin_drain();
+  void retire();
+
   // Aggregate communication staged through this committee's endpoints
   // (messages/bytes as the underlying handles report them). Must not be
   // called while a run is active.
@@ -166,6 +191,7 @@ class Committee {
   std::vector<int> local_of_;  // global id -> local id, -1 for outsiders
   Options opts_;
   int t_ = 0;
+  std::atomic<RosterState> state_{RosterState::kActive};
 
   // Endpoints are created lazily from member threads (the pipelined
   // scheduler opens per-batch endpoints mid-run); the map is guarded and

@@ -26,6 +26,7 @@ enum class ProtoId : std::uint8_t {
   kCoinGen = 8,
   kRandomizedBa = 9,
   kBaselineCoin = 10,
+  kReshare = 11,
   kApp = 15,
 };
 

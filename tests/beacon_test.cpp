@@ -157,5 +157,31 @@ TEST(BeaconTest, SingleCommitteeMatchesRawClusterReference) {
   EXPECT_EQ(out.beacon, exposed[0]);
 }
 
+// Degraded-mode determinism (the full-drop rule end to end): a K=3
+// beacon with committee 2 evicted mid-run emits exactly the beacon a
+// from-scratch K=2 run produces — the survivors' XOR is a pure function
+// of the surviving committee set, not of when the eviction landed.
+TEST(BeaconTest, DegradedOutputMatchesSurvivorsFromScratch) {
+  auto opts = base_options();
+  opts.committees = 3;
+  opts.chaos.scripted_evictions.push_back({2u, 1u});
+  Beacon<F> degraded(opts);
+  const auto out = degraded.run();
+
+  auto ref_opts = base_options();  // committees 0 and 1, same seeds
+  Beacon<F> survivors(ref_opts);
+  const auto ref = survivors.run();
+
+  ASSERT_TRUE(out.success);
+  ASSERT_TRUE(ref.success);
+  EXPECT_TRUE(out.degraded);
+  EXPECT_FALSE(ref.degraded);
+  EXPECT_EQ(out.committees[2].health, CommitteeHealth::kEvicted);
+  EXPECT_EQ(out.beacon, ref.beacon);
+  EXPECT_EQ(out.committees[0].coins, ref.committees[0].coins);
+  EXPECT_EQ(out.committees[1].coins, ref.committees[1].coins);
+  for (std::uint32_t mask : out.window_mask) EXPECT_EQ(mask, 0b011u);
+}
+
 }  // namespace
 }  // namespace dprbg

@@ -1,0 +1,111 @@
+// Chaos suite for beacon failover: one committee's barrier held hostage
+// by a slow-drip link adversary (tests/chaos_util.h slow_drip_plan).
+//
+// Two regimes of the same adversary:
+//   * drip + simulated latency + wall budget: the hostage committee is
+//     genuinely slow in wall-clock, the monitor evicts it, and the
+//     beacon still emits from the survivors — the liveness claim.
+//   * drip alone, no monitor: the lockstep simulation absorbs the delays
+//     (they cost rounds, not wall-clock), the run completes, and the
+//     per-committee fault ledgers reconcile exactly with the cluster
+//     totals — the accounting claim.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "beacon/beacon.h"
+#include "beacon/beacon_failover.h"
+#include "chaos_util.h"
+#include "gf/gf2.h"
+#include "net/fault.h"
+
+namespace dprbg {
+namespace {
+
+using F = GF2_64;
+
+constexpr std::uint64_t kSeed = 20260807;
+
+typename Beacon<F>::Options base_options() {
+  typename Beacon<F>::Options opts;
+  opts.committees = 2;
+  opts.committee_size = 7;
+  opts.committee_t = 1;
+  opts.coins_per_batch = 2;
+  opts.batches = 3;
+  opts.depth = 2;
+  opts.seed = kSeed;
+  return opts;
+}
+
+// Committee 1's member 2 drips delays on every outgoing link while the
+// whole committee runs at 150 ms per simulated round; the monitor evicts
+// it and the beacon finishes with exactly the solo committee-0 output.
+TEST(ChaosBeaconTest, StallingCommitteeEvictedAndBeaconProgresses) {
+  auto solo_opts = base_options();
+  solo_opts.committees = 1;
+  solo_opts.depth = 1;
+  Beacon<F> solo(solo_opts);
+  const auto ref = solo.run();
+  ASSERT_TRUE(ref.success);
+
+  auto opts = base_options();
+  opts.depth = 1;
+  opts.failover.wall_budget_ms = 600;
+  opts.failover.evict_after = 2.0;
+  opts.failover.poll_ms = 10;
+  Beacon<F> beacon(opts);
+  beacon.committee(1).set_fault_injector(chaos::slow_drip_plan(
+      /*hostage=*/2, static_cast<int>(opts.committee_size), /*rounds=*/60,
+      /*delay=*/2));
+  beacon.committee(1).set_round_latency_us(150000);
+  const auto out = beacon.run();
+
+  ASSERT_TRUE(out.success) << chaos::replay_note(kSeed);
+  EXPECT_TRUE(out.degraded);
+  EXPECT_EQ(out.committees[1].health, CommitteeHealth::kEvicted);
+  EXPECT_EQ(out.committees[0].health, CommitteeHealth::kLive);
+  EXPECT_EQ(out.beacon, ref.beacon) << chaos::replay_note(kSeed);
+  for (std::uint32_t mask : out.window_mask) EXPECT_EQ(mask, 0b01u);
+  EXPECT_EQ(beacon.cluster().foreign_rejections(), 0u);
+}
+
+// The drip alone (no latency, no monitor): the lockstep run completes,
+// committee 0's coins are untouched by committee 1's faults, and the
+// per-committee ledgers sum exactly to the cluster's fault total.
+TEST(ChaosBeaconTest, SlowDripAloneCompletesWithExactLedgers) {
+  auto solo_opts = base_options();
+  solo_opts.committees = 1;
+  Beacon<F> solo(solo_opts);
+  const auto ref = solo.run();
+  ASSERT_TRUE(ref.success);
+
+  auto opts = base_options();
+  Beacon<F> beacon(opts);
+  beacon.committee(1).set_fault_injector(chaos::slow_drip_plan(
+      /*hostage=*/2, static_cast<int>(opts.committee_size), /*rounds=*/40,
+      /*delay=*/1));
+  const auto out = beacon.run();
+
+  // Committee independence under faults: committee 0 is bit-for-bit the
+  // solo run no matter what committee 1's links do.
+  EXPECT_EQ(out.committees[0].coins, ref.committees[0].coins)
+      << chaos::replay_note(kSeed);
+  EXPECT_EQ(out.committees[0].health, CommitteeHealth::kLive);
+
+  const auto led0 = beacon.committee(0).ledger();
+  const auto led1 = beacon.committee(1).ledger();
+  EXPECT_EQ(led0.faults.total(), 0u);
+  EXPECT_GT(led1.faults.total(), 0u) << "drip plan never fired";
+  EXPECT_EQ(led0.faults.total() + led1.faults.total(),
+            beacon.cluster().faults().total())
+      << chaos::replay_note(kSeed);
+  EXPECT_EQ(led1.faults.total(), beacon.committee(1).faults().total());
+  EXPECT_EQ(beacon.cluster().foreign_rejections(), 0u);
+  EXPECT_EQ(led0.foreign + led1.foreign, 0u);
+}
+
+}  // namespace
+}  // namespace dprbg

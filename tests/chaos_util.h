@@ -53,6 +53,25 @@ inline std::string replay_note(std::uint64_t seed) {
   return "REPLAY: failing fault seed = " + std::to_string(seed);
 }
 
+// Slow-drip plan: one hostage player delays EVERY outgoing message by
+// `delay` rounds for `rounds` rounds — the "holds the barrier hostage"
+// adversary of the failover suite (tests/chaos_beacon_test.cpp). Charged
+// entirely to the hostage, so honest-player invariants keep applying to
+// everyone else. Written in committee-local indices; install it with
+// Committee::set_fault_injector to confine the drip to one committee.
+inline FaultPlan slow_drip_plan(int hostage, int n, std::uint64_t rounds,
+                                unsigned delay = 1) {
+  FaultPlan plan;
+  plan.charge(hostage);
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    for (int to = 0; to < n; ++to) {
+      if (to == hostage) continue;
+      plan.add(r, hostage, to, FaultSpec{FaultAction::kDelay, delay});
+    }
+  }
+  return plan;
+}
+
 // Honest-unanimity invariant: every player outside `charged` produced an
 // identical value. `what` names the output being compared (e.g.
 // "coin-gen success flag").

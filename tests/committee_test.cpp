@@ -17,6 +17,7 @@
 #include <set>
 #include <vector>
 
+#include "beacon/beacon.h"
 #include "chaos_util.h"
 #include "coin/coin_expose.h"
 #include "coin/coin_gen.h"
@@ -253,6 +254,49 @@ TEST(CommitteeTest, PerCommitteeFaultLedgersSumToClusterTotal) {
   EXPECT_EQ(cluster.foreign_rejections(), 0u);
   // Same local plan seed != same effects: the plans were remapped onto
   // disjoint global rosters and fire independently.
+}
+
+// Eviction must not corrupt the fault accounting: with both committees
+// under seeded fault plans and committee 1 evicted mid-run, the
+// per-committee ledgers still sum exactly to Cluster::faults(), and the
+// locked ledger() snapshot agrees with the post-run faults() reference.
+TEST(CommitteeTest, LedgersSumToClusterTotalAfterEviction) {
+  using BF = GF2_64;
+  typename Beacon<BF>::Options opts;
+  opts.committees = 2;
+  opts.committee_size = kN;
+  opts.committee_t = kT;
+  opts.coins_per_batch = kM;
+  opts.batches = 3;
+  opts.depth = 2;
+  opts.seed = kSeed;
+  opts.chaos.scripted_evictions.push_back({1u, 1u});
+  Beacon<BF> beacon(opts);
+
+  FaultPlanParams params;
+  params.n = kN;
+  params.t = kT;
+  params.rounds = 24;
+  params.fault_rate = 0.10;
+  beacon.committee(0).set_fault_injector(random_fault_plan(params, kSeed + 10));
+  beacon.committee(1).set_fault_injector(random_fault_plan(params, kSeed + 20));
+
+  const auto out = beacon.run();
+  EXPECT_EQ(out.committees[1].health, CommitteeHealth::kEvicted);
+  EXPECT_EQ(out.committees[1].reason, EvictionReason::kScripted);
+
+  const auto led0 = beacon.committee(0).ledger();
+  const auto led1 = beacon.committee(1).ledger();
+  EXPECT_GT(led0.faults.total(), 0u);
+  EXPECT_GT(led1.faults.total(), 0u);
+  EXPECT_EQ(led0.faults.total() + led1.faults.total(),
+            beacon.cluster().faults().total());
+  // The snapshot and the post-run reference are the same ledger.
+  EXPECT_EQ(led0.faults.total(), beacon.committee(0).faults().total());
+  EXPECT_EQ(led1.faults.total(), beacon.committee(1).faults().total());
+  EXPECT_EQ(led0.stale + led1.stale, beacon.cluster().stale_rejections());
+  EXPECT_EQ(led0.foreign + led1.foreign,
+            beacon.cluster().foreign_rejections());
 }
 
 // Committee-local identity surface: ids, sizes, translations, streams.

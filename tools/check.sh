@@ -55,6 +55,26 @@ if echo "$beacon_out" | grep '"foreign"' | grep -qv '"foreign": 0'; then
   exit 1
 fi
 
+echo "=== [check] degraded-beacon smoke (bench/beacon --crash-committee) ==="
+# Smoke run of E18: the last committee crashes after its first batch;
+# the bench itself hard-fails unless the crashed committee is evicted,
+# the survivors stay unanimous, and the degraded rate clears the
+# liveness floor. Double-check the degraded marking here so a silently
+# healthy-looking crashed run cannot slip through.
+degraded_out="$(./build/bench/beacon --json --smoke --crash-committee)"
+echo "$degraded_out"
+echo "$degraded_out" | grep -q '"mode": "crashed".*"degraded": "yes"' || {
+  echo "check.sh: crashed beacon run not marked degraded" >&2
+  exit 1
+}
+echo "$degraded_out" | grep -q '"mode": "crashed".*"evicted": "yes"' || {
+  echo "check.sh: crashed committee was not evicted" >&2
+  exit 1
+}
+
+echo "=== [check] beacon failover chaos suite ==="
+./build/tests/chaos_beacon_test
+
 if [[ "$mode" == "full" ]]; then
   echo "=== [check] sanitizer matrix ==="
   tools/sanitize.sh all
