@@ -19,6 +19,15 @@
 // Flags: --json (machine-readable rows), --rtt-us=N (default 10000),
 // --smoke (K = 1, 2 only, for CI), --batches=N, --depth=N.
 //
+// --metrics=FILE additionally runs one telemetry-enabled K=2 beacon
+// (with a mild fault plan on committee 0 so the fault counters are
+// genuinely nonzero) and hard-fails unless the registry snapshot
+// reconciles EXACTLY with Cluster::faults(), the per-committee domain
+// ledgers, and the trace layer's per-round comm deltas — then writes
+// the snapshot to FILE and prints the run's BeaconStatus JSON line.
+// The measured rows above always run telemetry-disabled, so --metrics
+// never perturbs the numbers.
+//
 // --crash-committee switches to the E18 liveness bench instead: the
 // last committee crashes after its first batch, the failover monitor
 // (wall budget derived from the simulated rtt) evicts it, and the run
@@ -35,7 +44,10 @@
 
 #include "beacon/beacon.h"
 #include "bench_util.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
 #include "gf/gf2.h"
+#include "net/fault.h"
 
 namespace dprbg {
 namespace {
@@ -110,6 +122,155 @@ RunStats run_beacon(unsigned k, unsigned batches, unsigned depth,
     stats.committee_faults += beacon.committee(c).faults().total();
   }
   return stats;
+}
+
+// The beacon telemetry gate: one K=2 run with the registry AND the
+// tracer live, plus a mild link-fault plan on committee 0 so the fault
+// counters have something real to count. Three independent ledgers must
+// then agree exactly — the telemetry snapshot, the cluster's own domain
+// ledgers, and the trace layer's per-round comm deltas — because a
+// counter that merely "looks plausible" is worthless. The gate does NOT
+// assert protocol success (the fault plan may sink batches); it asserts
+// that every layer told the same story about what happened.
+bool run_metrics_gate(const std::string& path, unsigned batches,
+                      unsigned depth, unsigned rtt_us) {
+  const unsigned k = 2;
+  metrics().reset();
+  tracer().clear();
+  set_telemetry_enabled(true);
+  tracer().set_enabled(true);
+
+  typename Beacon<F>::Options opts;
+  opts.committees = k;
+  opts.committee_size = kCommitteeSize;
+  opts.committee_t = kCommitteeT;
+  opts.coins_per_batch = kM;
+  opts.batches = batches;
+  opts.depth = depth;
+  opts.seed = kSeed;
+  opts.round_latency_us = rtt_us;
+  Beacon<F> beacon(opts);
+  FaultPlanParams params;
+  params.n = static_cast<int>(kCommitteeSize);
+  params.t = kCommitteeT;
+  params.rounds = 48;
+  params.fault_rate = 0.05;
+  beacon.committee(0).set_fault_injector(
+      random_fault_plan(params, kSeed + 7));
+
+  const auto out = beacon.run();
+  beacon.cluster().publish_comm_telemetry();
+  const MetricsSnapshot snap = metrics().snapshot();
+  const BeaconStatus status = beacon.status();
+  tracer().set_enabled(false);
+  set_telemetry_enabled(false);
+
+  Cluster& cluster = beacon.cluster();
+  bool ok = true;
+  auto check = [&ok](const std::string& what, std::int64_t got,
+                     std::int64_t want) {
+    if (got != want) {
+      std::fprintf(stderr,
+                   "FAIL: telemetry reconciliation: %s: snapshot=%lld "
+                   "ledger=%lld\n",
+                   what.c_str(), static_cast<long long>(got),
+                   static_cast<long long>(want));
+      ok = false;
+    }
+  };
+
+  // Cluster-wide totals: labeled counters summed over committees must
+  // equal the cluster's aggregate ledgers exactly.
+  check("stale rejections", snap.sum_values("net_stale_rejections_total"),
+        static_cast<std::int64_t>(cluster.stale_rejections()));
+  check("foreign rejections",
+        snap.sum_values("net_foreign_rejections_total"),
+        static_cast<std::int64_t>(cluster.foreign_rejections()));
+  check("fault effects", snap.sum_values("net_fault_effects_total"),
+        static_cast<std::int64_t>(cluster.faults().total()));
+  check("domain messages", snap.sum_values("net_domain_messages_total"),
+        static_cast<std::int64_t>(cluster.comm().messages));
+  check("domain bytes", snap.sum_values("net_domain_bytes_total"),
+        static_cast<std::int64_t>(cluster.comm().bytes));
+  check("player messages", snap.sum_values("net_player_messages_total"),
+        static_cast<std::int64_t>(cluster.comm().messages));
+  check("player bytes", snap.sum_values("net_player_bytes_total"),
+        static_cast<std::int64_t>(cluster.comm().bytes));
+  if (cluster.faults().total() == 0) {
+    std::fprintf(stderr,
+                 "FAIL: fault plan never fired — the fault-counter "
+                 "reconciliation is vacuous\n");
+    ok = false;
+  }
+
+  // Per-committee: the committee-labeled counters against that
+  // committee's own domain ledger, which the eviction scorer reads.
+  for (unsigned c = 0; c < k; ++c) {
+    const Cluster::DomainLedger led = beacon.committee(c).ledger();
+    const std::string lab = "committee=" + std::to_string(c);
+    auto value = [&snap, &lab](const char* name) -> std::int64_t {
+      const MetricSample* s = snap.find(name, lab);
+      return s == nullptr ? 0 : s->value;
+    };
+    check(lab + " faults", value("net_fault_effects_total"),
+          static_cast<std::int64_t>(led.faults.total()));
+    check(lab + " stale", value("net_stale_rejections_total"),
+          static_cast<std::int64_t>(led.stale));
+    check(lab + " foreign", value("net_foreign_rejections_total"),
+          static_cast<std::int64_t>(led.foreign));
+    const MetricSample* health =
+        snap.find("beacon_committee_health", lab);
+    if (health == nullptr) {
+      std::fprintf(stderr, "FAIL: no beacon_committee_health gauge for %s\n",
+                   lab.c_str());
+      ok = false;
+    } else {
+      check(lab + " health gauge", health->value,
+            static_cast<std::int64_t>(out.committees[c].health));
+    }
+  }
+
+  // Trace-layer cross-check: the per-round comm deltas the tracer
+  // recorded must sum to the same totals the telemetry counters carry.
+  CommCounters traced;
+  for (const auto& ev : tracer().events()) {
+    if (ev.protocol == "net" && ev.phase == "round") traced += ev.comm;
+  }
+  check("traced round messages",
+        snap.sum_values("net_domain_messages_total"),
+        static_cast<std::int64_t>(traced.messages));
+  check("traced round bytes", snap.sum_values("net_domain_bytes_total"),
+        static_cast<std::int64_t>(traced.bytes));
+
+  // Beacon-level instruments against the run's own output.
+  check("windows", snap.sum_values("beacon_windows_total"),
+        static_cast<std::int64_t>(out.window_mask.size()));
+  check("pipeline batches joined",
+        snap.sum_values("pipeline_batches_total"),
+        static_cast<std::int64_t>(batches) * k * kCommitteeSize);
+  // The status aggregate is built from the same HealthBoard the run
+  // used; its counters must match the output's.
+  check("status evictions",
+        static_cast<std::int64_t>(status.counters.evictions),
+        static_cast<std::int64_t>(out.health.evictions));
+  check("status degraded windows",
+        static_cast<std::int64_t>(status.counters.degraded_windows),
+        static_cast<std::int64_t>(out.health.degraded_windows));
+
+  if (!snap.write_json_file(path)) {
+    std::fprintf(stderr, "FAIL: cannot write metrics snapshot to %s\n",
+                 path.c_str());
+    ok = false;
+  }
+  std::fprintf(stderr, "%s\n", status.to_json().c_str());
+  if (ok) {
+    std::fprintf(stderr,
+                 "telemetry reconciliation OK (%zu instruments, 3-way: "
+                 "telemetry == cluster ledgers == trace deltas) -> %s\n",
+                 snap.samples.size(), path.c_str());
+  }
+  tracer().clear();
+  return ok;
 }
 
 // E18 liveness bench (--crash-committee): baseline and crashed runs at
@@ -201,6 +362,7 @@ int main(int argc, char** argv) {
   // sharding speedup (which hides latency, not compute) to show.
   unsigned rtt_us = 10000;
   bool crash_mode = false;
+  std::string metrics_path;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg(argv[i]);
     if (arg == "--smoke") smoke = true;
@@ -213,6 +375,9 @@ int main(int argc, char** argv) {
     }
     if (arg.rfind("--depth=", 0) == 0) {
       depth = static_cast<unsigned>(std::atoi(argv[i] + 8));
+    }
+    if (arg.rfind("--metrics=", 0) == 0) {
+      metrics_path = std::string(arg.substr(10));
     }
   }
 
@@ -270,6 +435,10 @@ int main(int argc, char** argv) {
   }
   table.print();
   if (!ok) return 1;
+  if (!metrics_path.empty() &&
+      !run_metrics_gate(metrics_path, batches, depth, rtt_us)) {
+    return 1;
+  }
   if (json_mode()) return 0;
   std::printf(
       "\nshape check: committees share no rounds, so coins/sec should "

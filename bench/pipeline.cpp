@@ -17,7 +17,11 @@
 //
 // Flags: --json (machine-readable rows), --rtt-us=N (simulated one-way
 // per-round latency, default 2000), --smoke (4 batches instead of 8, for
-// CI), --batches=N.
+// CI), --batches=N, --metrics=FILE (extra telemetry-enabled run whose
+// registry snapshot is written to FILE after a hard reconciliation
+// against the cluster's own counters — the E17-style bug-trap; exits 1
+// on any mismatch). The measured table rows always run with telemetry
+// DISABLED, so --metrics never perturbs the reported numbers.
 
 #include <chrono>
 #include <cstdio>
@@ -27,6 +31,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/telemetry.h"
 #include "coin/coin_gen.h"
 #include "coin/coin_pipeline.h"
 #include "dprbg/coin_pool.h"
@@ -115,6 +120,92 @@ RunStats run_serial_reference(unsigned batches, unsigned rtt_us) {
   return stats;
 }
 
+// The telemetry gate: one extra depth-4 run with the registry live, then
+// a hard reconciliation of the snapshot against the cluster's own
+// ledgers — counters that merely "look plausible" are worthless, so any
+// mismatch is a failure, same spirit as the E17 ledger gate. Returns
+// true and writes the snapshot to `path` on success.
+bool run_metrics_gate(const std::string& path, unsigned batches,
+                      unsigned rtt_us) {
+  metrics().reset();
+  set_telemetry_enabled(true);
+  auto genesis = trusted_dealer_coins<F>(
+      kN, kT, static_cast<int>(4 * batches + 8), kSeed);
+  Cluster cluster(kN, kT, kSeed);
+  cluster.set_round_latency_us(rtt_us);
+  std::vector<PipelineResult<F>> results(kN);
+  cluster.run(std::vector<Cluster::Program>(kN, [&](PartyIo& io) {
+    CoinPool<F> pool;
+    for (auto& c : genesis[io.id()]) pool.add(std::move(c));
+    PipelineOptions opts;
+    opts.depth = 4;
+    results[io.id()] = pipelined_coin_gen<F>(io, kM, pool, batches, opts);
+  }));
+  cluster.publish_comm_telemetry();
+  const MetricsSnapshot snap = metrics().snapshot();
+  set_telemetry_enabled(false);
+
+  bool ok = true;
+  auto check = [&ok](const char* what, std::int64_t got,
+                     std::int64_t want) {
+    if (got != want) {
+      std::fprintf(stderr,
+                   "FAIL: telemetry reconciliation: %s: snapshot=%lld "
+                   "cluster=%lld\n",
+                   what, static_cast<long long>(got),
+                   static_cast<long long>(want));
+      ok = false;
+    }
+  };
+  // Shared-state counters must equal the cluster's ledgers EXACTLY.
+  check("stale rejections", snap.sum_values("net_stale_rejections_total"),
+        static_cast<std::int64_t>(cluster.stale_rejections()));
+  check("foreign rejections",
+        snap.sum_values("net_foreign_rejections_total"),
+        static_cast<std::int64_t>(cluster.foreign_rejections()));
+  check("fault effects", snap.sum_values("net_fault_effects_total"),
+        static_cast<std::int64_t>(cluster.faults().total()));
+  check("domain messages", snap.sum_values("net_domain_messages_total"),
+        static_cast<std::int64_t>(cluster.comm().messages));
+  check("domain bytes", snap.sum_values("net_domain_bytes_total"),
+        static_cast<std::int64_t>(cluster.comm().bytes));
+  // The per-domain ledger (all traffic is the default domain here).
+  const Cluster::DomainLedger led = cluster.domain_ledger(0);
+  check("domain-0 ledger stale",
+        snap.sum_values("net_stale_rejections_total"),
+        static_cast<std::int64_t>(led.stale));
+  check("domain-0 ledger faults",
+        snap.sum_values("net_fault_effects_total"),
+        static_cast<std::int64_t>(led.faults.total()));
+  // Per-player counters (satellite: the per_player_comm surfacing gap)
+  // must sum back to the aggregate.
+  check("player messages", snap.sum_values("net_player_messages_total"),
+        static_cast<std::int64_t>(cluster.comm().messages));
+  check("player bytes", snap.sum_values("net_player_bytes_total"),
+        static_cast<std::int64_t>(cluster.comm().bytes));
+  // Every player joins every batch once.
+  check("pipeline batches", snap.sum_values("pipeline_batches_total"),
+        static_cast<std::int64_t>(batches) * kN);
+  const MetricSample* hist = snap.find("pipeline_batch_us");
+  if (hist == nullptr ||
+      hist->count != static_cast<std::uint64_t>(batches) * kN) {
+    std::fprintf(stderr,
+                 "FAIL: pipeline_batch_us histogram count != batches * n\n");
+    ok = false;
+  }
+  if (!snap.write_json_file(path)) {
+    std::fprintf(stderr, "FAIL: cannot write metrics snapshot to %s\n",
+                 path.c_str());
+    ok = false;
+  }
+  if (ok) {
+    std::fprintf(stderr,
+                 "telemetry reconciliation OK (%zu instruments) -> %s\n",
+                 snap.samples.size(), path.c_str());
+  }
+  return ok;
+}
+
 bool outcomes_match(const std::vector<CoinGenResult<F>>& a,
                     const std::vector<CoinGenResult<F>>& b) {
   if (a.size() != b.size()) return false;
@@ -143,6 +234,7 @@ int main(int argc, char** argv) {
   parse_args(argc, argv);
   unsigned batches = 8;
   unsigned rtt_us = 2000;
+  std::string metrics_path;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg(argv[i]);
     if (arg == "--smoke") batches = 4;
@@ -152,6 +244,7 @@ int main(int argc, char** argv) {
     if (arg.rfind("--batches=", 0) == 0) {
       batches = static_cast<unsigned>(std::atoi(argv[i] + 10));
     }
+    if (arg.rfind("--metrics=", 0) == 0) metrics_path = arg.substr(10);
   }
 
   print_header(
@@ -201,6 +294,12 @@ int main(int argc, char** argv) {
   // Clean pipelining means the stream demux never had to reject a
   // delayed envelope: any nonzero count is a scheduling bug, not noise.
   if (!stale_clean) return 1;
+  // After the measured (telemetry-disabled) rows: the instrumented run +
+  // reconciliation gate.
+  if (!metrics_path.empty() &&
+      !run_metrics_gate(metrics_path, batches, rtt_us)) {
+    return 1;
+  }
   if (json_mode()) return 0;
   std::printf(
       "\nshape check: depth 1 matches the serial coin_gen loop bit-for-bit "

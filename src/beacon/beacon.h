@@ -55,10 +55,12 @@
 
 #include "common/check.h"
 #include "common/metrics.h"
+#include "common/telemetry.h"
 #include "gf/field_concept.h"
 #include "net/cluster.h"
 #include "net/committee.h"
 #include "beacon/beacon_failover.h"
+#include "beacon/beacon_status.h"
 #include "coin/coin_expose.h"
 #include "coin/coin_gen.h"
 #include "coin/coin_pipeline.h"
@@ -169,6 +171,9 @@ class Beacon {
   [[nodiscard]] Committee& committee(unsigned c) { return *committees_[c]; }
   [[nodiscard]] const Options& options() const { return opts_; }
   [[nodiscard]] HealthBoard& board() { return *board_; }
+  // Point-in-time health aggregate (beacon_status.h) — safe to poll
+  // mid-run; this is the future service's health endpoint.
+  [[nodiscard]] BeaconStatus status() const { return beacon_status(*board_); }
 
   // Runs the full beacon round: per-committee pipelined Coin-Gen, then
   // committee-local exposure of every minted coin, then the XOR-combine.
@@ -296,6 +301,9 @@ class Beacon {
       }
     }
     const std::size_t M = opts_.coins_per_batch;
+    const bool tel_on = telemetry_enabled();
+    TelemetryClock::time_point combine_t0;
+    if (tel_on) combine_t0 = TelemetryClock::now();
     for (unsigned b = 0; b < opts_.batches; ++b) {
       std::uint32_t mask = 0;
       std::vector<F> window(M, F::zero());
@@ -321,6 +329,12 @@ class Beacon {
         out.degraded = true;
         board_->note_degraded_window();
       }
+    }
+    if (tel_on) {
+      metrics().histogram("beacon_combine_us")
+          .observe(telemetry_elapsed_us(combine_t0));
+      metrics().counter("beacon_windows_total")
+          .add(out.window_mask.size());
     }
 
     for (unsigned c = 0; c < K; ++c) {

@@ -51,6 +51,7 @@
 
 #include "common/check.h"
 #include "common/metrics.h"
+#include "common/telemetry.h"
 #include "common/trace.h"
 #include "gf/field_concept.h"
 #include "net/cluster.h"
@@ -168,6 +169,11 @@ class HealthBoard {
     states_.resize(committees);
     const auto now = Clock::now();
     for (auto& s : states_) s.last_progress = now;
+    // Seed the health gauges so a snapshot taken before any transition
+    // already lists every committee as live.
+    for (unsigned c = 0; c < committees; ++c) {
+      tel_health(c, CommitteeHealth::kLive);
+    }
   }
 
   HealthBoard(const HealthBoard&) = delete;
@@ -193,7 +199,12 @@ class HealthBoard {
     const bool open = !policy_.enabled ||
                       s.health != CommitteeHealth::kEvicted ||
                       b < s.evicted_at;
-    if (!open) ++counters_.cancelled_batches;
+    if (!open) {
+      ++counters_.cancelled_batches;
+      if (telemetry_enabled()) {
+        metrics().counter("beacon_cancelled_batches_total").add(1);
+      }
+    }
     s.gates.emplace(b, open);
     return open;
   }
@@ -235,6 +246,7 @@ class HealthBoard {
     s.last_progress = Clock::now();
     if (s.health == CommitteeHealth::kLagging) {
       s.health = CommitteeHealth::kLive;
+      tel_health(c, CommitteeHealth::kLive);
       trace_beacon("health", c, "state=live batch=" + std::to_string(b));
     }
   }
@@ -256,6 +268,10 @@ class HealthBoard {
     if (s.health != CommitteeHealth::kLive) return;
     s.health = CommitteeHealth::kLagging;
     ++counters_.lagging_transitions;
+    tel_health(c, CommitteeHealth::kLagging);
+    if (telemetry_enabled()) {
+      metrics().counter("beacon_lagging_total").add(1);
+    }
     trace_beacon("health", c, "state=lagging");
   }
 
@@ -264,6 +280,9 @@ class HealthBoard {
   void note_degraded_window() {
     std::lock_guard lk(mu_);
     ++counters_.degraded_windows;
+    if (telemetry_enabled()) {
+      metrics().counter("beacon_degraded_windows_total").add(1);
+    }
   }
 
   [[nodiscard]] CommitteeHealth health(unsigned c) const {
@@ -343,10 +362,26 @@ class HealthBoard {
     // launch gates ignore it, so the exposure gate must stay open too.
     if (policy_.enabled && !s.expose.has_value()) s.expose = false;
     ++counters_.evictions;
+    tel_health(c, CommitteeHealth::kEvicted);
+    if (telemetry_enabled()) {
+      metrics().counter("beacon_evictions_total",
+                        std::string("reason=") + to_string(reason))
+          .add(1);
+    }
     trace_beacon("evict", c,
                  std::string("reason=") + to_string(reason) +
                      " batch=" + std::to_string(from_batch));
     return true;
+  }
+
+  // Health-state gauge, one per committee, value = enum (0 live,
+  // 1 lagging, 2 evicted). Transitions are rare, so the registry lookup
+  // per call is fine; no registry mutation while telemetry is disabled.
+  static void tel_health(unsigned c, CommitteeHealth h) {
+    if (!telemetry_enabled()) return;
+    metrics()
+        .gauge("beacon_committee_health", "committee=" + std::to_string(c))
+        .set(static_cast<std::int64_t>(h));
   }
 
   const FailoverPolicy policy_;

@@ -41,6 +41,7 @@
 
 #include "ba/binary_ba.h"
 #include "common/metrics.h"
+#include "common/telemetry.h"
 #include "gf/field_concept.h"
 #include "net/endpoint.h"
 #include "coin/coin_gen.h"
@@ -114,13 +115,43 @@ PipelineResult<F> pipelined_coin_gen(Io& io, unsigned m,
   result.batches.resize(batches);
   if (batches == 0) return result;
 
+  // Telemetry handles, acquired once per call and only when enabled (the
+  // disabled mode performs zero registry mutations). Counted once per
+  // player per event — see the aggregation note in common/telemetry.h.
+  struct PipelineTel {
+    Counter* batches = nullptr;   // joined batches
+    Counter* failures = nullptr;  // joined with success=false
+    Histogram* batch_us = nullptr;  // launch -> join wall time
+    Histogram* gen_us = nullptr;    // worker coin_gen wall time
+    Gauge* inflight = nullptr;      // current window occupancy
+  };
+  PipelineTel tel;
+  const bool tel_on = telemetry_enabled();
+  if (tel_on) {
+    MetricsRegistry& reg = metrics();
+    tel.batches = &reg.counter("pipeline_batches_total");
+    tel.failures = &reg.counter("pipeline_batch_failures_total");
+    tel.batch_us = &reg.histogram("pipeline_batch_us");
+    tel.gen_us = &reg.histogram("pipeline_gen_us");
+    tel.inflight = &reg.gauge("pipeline_inflight_depth");
+  }
+
   if (opts.depth <= 1) {
     for (unsigned b = 0; b < batches; ++b) {
       if (opts.may_launch && !opts.may_launch(b)) {
         result.cancelled = true;
         break;
       }
+      TelemetryClock::time_point t0;
+      if (tel_on) t0 = TelemetryClock::now();
       result.batches[b] = coin_gen<F>(io, m, pool, opts.max_iterations, ba);
+      if (tel_on) {
+        const std::uint64_t us = telemetry_elapsed_us(t0);
+        tel.batch_us->observe(us);
+        tel.gen_us->observe(us);
+        tel.batches->add(1);
+        if (!result.batches[b].success) tel.failures->add(1);
+      }
       result.seed_coins_used += result.batches[b].seed_coins_used;
       ++result.launched;
       if (opts.on_batch_joined) opts.on_batch_joined(b);
@@ -134,6 +165,7 @@ PipelineResult<F> pipelined_coin_gen(Io& io, unsigned m,
     CoinGenResult<F> outcome;
     FieldCounters ops;            // worker-thread field ops, harvested
     std::exception_ptr error;
+    TelemetryClock::time_point launched_at;  // set only when telemetry on
   };
   std::vector<InFlight> flight(batches);
 
@@ -143,11 +175,15 @@ PipelineResult<F> pipelined_coin_gen(Io& io, unsigned m,
         std::min<std::size_t>(1 + opts.leader_coins, pool.remaining());
     fl.subpool.add_batch(pool.take_batch(charge));
     const std::uint32_t stream = opts.first_batch_id + b;
-    fl.th = std::thread([&fl, &io, &opts, &ba, m, stream] {
+    if (tel_on) fl.launched_at = TelemetryClock::now();
+    Histogram* const gen_us = tel.gen_us;
+    fl.th = std::thread([&fl, &io, &opts, &ba, m, stream, gen_us] {
       // field_counters() is thread_local; measure this worker's delta so
       // the driver can fold it back into the driving thread's counters
       // (keeping Cluster::per_player_field_ops exact).
       const FieldCounters before = field_counters();
+      TelemetryClock::time_point t0;
+      if (gen_us != nullptr) t0 = TelemetryClock::now();
       try {
         Io& bio = io.instance(stream);
         fl.outcome =
@@ -155,6 +191,7 @@ PipelineResult<F> pipelined_coin_gen(Io& io, unsigned m,
       } catch (...) {
         fl.error = std::current_exception();
       }
+      if (gen_us != nullptr) gen_us->observe(telemetry_elapsed_us(t0));
       fl.ops = field_counters() - before;
     });
   };
@@ -175,6 +212,7 @@ PipelineResult<F> pipelined_coin_gen(Io& io, unsigned m,
 
   const unsigned window = std::min(opts.depth, batches);
   for (unsigned i = 0; i < window; ++i) try_launch();
+  if (tel_on) tel.inflight->set(next_launch);
 
   std::exception_ptr first_error;
   for (unsigned b = 0; b < next_launch; ++b) {  // next_launch grows below
@@ -187,8 +225,16 @@ PipelineResult<F> pipelined_coin_gen(Io& io, unsigned m,
     if (!fl.subpool.empty()) {
       pool.add_batch(fl.subpool.take_batch(fl.subpool.remaining()));
     }
+    if (tel_on) {
+      tel.batch_us->observe(telemetry_elapsed_us(fl.launched_at));
+      tel.batches->add(1);
+      if (!result.batches[b].success) tel.failures->add(1);
+    }
     if (opts.on_batch_joined) opts.on_batch_joined(b);
     try_launch();
+    if (tel_on) {
+      tel.inflight->set(static_cast<std::int64_t>(next_launch) - (b + 1));
+    }
   }
   result.launched = next_launch;
   if (first_error) std::rethrow_exception(first_error);

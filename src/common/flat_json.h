@@ -1,0 +1,146 @@
+// Tolerant flat-JSON helpers shared by the trace layer (common/trace.h)
+// and the telemetry layer (common/telemetry.h).
+//
+// Both layers serialize to one flat JSON object per line — string and
+// unsigned-integer values only, no nesting — so external tools can
+// aggregate with zero schema knowledge, and both parse with the same
+// tolerant contract: unknown keys are ignored (schemas can grow),
+// arbitrary key order is accepted, and a malformed line fails cleanly
+// instead of poisoning the stream.
+
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace dprbg {
+
+// Appends `s` to `out` with JSON string escaping (quotes, backslashes,
+// control characters).
+inline void flat_json_escape(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+// Minimal scanner for the flat JSON objects emitted by to_jsonl /
+// MetricsSnapshot::write_json: string and unsigned-integer values only,
+// no nesting. Tolerates unknown keys and arbitrary key order so the
+// schema can grow.
+class FlatJsonScanner {
+ public:
+  explicit FlatJsonScanner(std::string_view s) : s_(s) {}
+
+  // Calls on_field(key, string_value, numeric_value, is_string) per pair.
+  template <typename Fn>
+  bool scan(Fn&& on_field) {
+    skip_ws();
+    if (!eat('{')) return false;
+    skip_ws();
+    if (eat('}')) return true;
+    while (true) {
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!eat(':')) return false;
+      skip_ws();
+      if (pos_ < s_.size() && s_[pos_] == '"') {
+        std::string value;
+        if (!parse_string(value)) return false;
+        on_field(key, value, std::uint64_t{0}, true);
+      } else {
+        std::uint64_t value = 0;
+        bool negative = eat('-');  // player may be -1
+        const char* begin = s_.data() + pos_;
+        const char* end = s_.data() + s_.size();
+        auto [ptr, ec] = std::from_chars(begin, end, value);
+        if (ec != std::errc() || ptr == begin) return false;
+        pos_ += static_cast<std::size_t>(ptr - begin);
+        if (negative) {
+          value = static_cast<std::uint64_t>(-static_cast<std::int64_t>(value));
+        }
+        on_field(key, std::string{}, value, false);
+      }
+      skip_ws();
+      if (eat('}')) return true;
+      if (!eat(',')) return false;
+      skip_ws();
+    }
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool eat(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool parse_string(std::string& out) {
+    if (!eat('"')) return false;
+    out.clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) return false;
+      const char esc = s_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return false;
+          unsigned code = 0;
+          auto [ptr, ec] = std::from_chars(s_.data() + pos_,
+                                           s_.data() + pos_ + 4, code, 16);
+          if (ec != std::errc() || ptr != s_.data() + pos_ + 4) return false;
+          pos_ += 4;
+          out += static_cast<char>(code & 0xFF);
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace dprbg

@@ -1,0 +1,296 @@
+// Live telemetry: a process-wide registry of named, label-tagged
+// instruments — monotonic counters, gauges, and log-bucketed latency
+// histograms — cheap enough for protocol hot paths.
+//
+// The trace layer (common/trace.h) answers "what did this run COST",
+// after the fact, as per-phase ledgers gated against the paper's lemmas.
+// This module answers "how is the system doing RIGHT NOW": pool depth,
+// refill latency percentiles, per-committee health, barrier wait time —
+// the signals a randomness-beacon operator watches while the service
+// runs. It deliberately mirrors trace.h's enable/disable contract:
+//
+//   * OFF by default. Every instrument mutator is behind one relaxed
+//     atomic load (`telemetry_enabled()`), so a disabled build-in adds a
+//     single predictable branch per site and allocates nothing — golden
+//     transcripts and bench numbers are unchanged
+//     (tests/telemetry_test.cpp locks this in, EXPERIMENTS.md E19
+//     bounds the overhead).
+//   * Instrumentation sites that need registry lookups or clock reads
+//     guard them behind `telemetry_enabled()` too, so the disabled mode
+//     performs ZERO registry mutations — not even instrument creation.
+//   * When enabled, instrument cells are relaxed atomics: player threads
+//     bump them concurrently without locks; the registry mutex is only
+//     taken to create/look up instruments and to snapshot.
+//
+// Aggregation semantics in the lockstep simulated cluster: instruments
+// observing SHARED state (the exchange path, the HealthBoard) count each
+// event once; instruments observing PER-PLAYER state (coin pools, the
+// pipeline scheduler) are bumped once per player per event — honest
+// players run in lockstep, so gauges agree (last writer wins) and
+// counters read as `players x events`. The reconciliation gates
+// (bench/pipeline --metrics, bench/beacon --metrics) are built on the
+// shared-state counters, which must equal Cluster::faults(), the
+// per-domain ledgers, and Cluster::comm() exactly.
+//
+// Exposition: `metrics().snapshot()` freezes every instrument into a
+// `MetricsSnapshot` that serializes to flat JSONL (same tolerant
+// conventions as the trace schema — unknown keys ignored, any key
+// order) and to Prometheus text format. `tools/metrics_report` renders
+// and diffs snapshots.
+
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dprbg {
+
+// ---------------------------------------------------------------------
+// Global enable flag (mirrors tracer().enabled()).
+// ---------------------------------------------------------------------
+
+namespace telemetry_detail {
+inline std::atomic<bool>& enabled_flag() noexcept {
+  static std::atomic<bool> on{false};
+  return on;
+}
+}  // namespace telemetry_detail
+
+[[nodiscard]] inline bool telemetry_enabled() noexcept {
+  return telemetry_detail::enabled_flag().load(std::memory_order_relaxed);
+}
+inline void set_telemetry_enabled(bool on) noexcept {
+  telemetry_detail::enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------
+// Instruments. All cells are relaxed atomics; every mutator no-ops when
+// telemetry is disabled. Instruments are created by the registry and
+// live for the process lifetime (reset() zeroes values but never
+// invalidates a handle), so call sites may cache references.
+// ---------------------------------------------------------------------
+
+// Monotonic event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    if (!telemetry_enabled()) return;
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+  std::atomic<std::uint64_t> v_{0};
+};
+
+// Last-written level (pool depth, in-flight window, health state).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    if (!telemetry_enabled()) return;
+    v_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t d) noexcept {
+    if (!telemetry_enabled()) return;
+    v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+  std::atomic<std::int64_t> v_{0};
+};
+
+// Log-bucketed histogram of non-negative integer observations (latency
+// in microseconds, sizes, depths). Buckets: values below kSubBuckets are
+// exact; above, each power-of-two octave is split into kSubBuckets
+// geometric sub-buckets, bounding the relative quantization error by
+// 1/kSubBuckets (12.5%). 496 buckets cover the full uint64 range.
+class Histogram {
+ public:
+  static constexpr unsigned kSubBits = 3;
+  static constexpr unsigned kSubBuckets = 1u << kSubBits;  // 8
+  static constexpr unsigned kBuckets =
+      ((64 - kSubBits) << kSubBits) + kSubBuckets;  // 496
+
+  // The bucket index recording value `v`.
+  [[nodiscard]] static unsigned bucket_of(std::uint64_t v) noexcept {
+    if (v < kSubBuckets) return static_cast<unsigned>(v);
+    const unsigned msb = 63u - static_cast<unsigned>(std::countl_zero(v));
+    const unsigned shift = msb - kSubBits;
+    const unsigned sub = static_cast<unsigned>(v >> shift) & (kSubBuckets - 1);
+    return ((msb - kSubBits + 1) << kSubBits) + sub;
+  }
+  // Inclusive [lower, upper] value range of bucket `idx`.
+  [[nodiscard]] static std::uint64_t bucket_lower(unsigned idx) noexcept {
+    if (idx < kSubBuckets) return idx;
+    const unsigned msb = (idx >> kSubBits) + kSubBits - 1;
+    const unsigned sub = idx & (kSubBuckets - 1);
+    const std::uint64_t width = std::uint64_t{1} << (msb - kSubBits);
+    return (std::uint64_t{1} << msb) + sub * width;
+  }
+  [[nodiscard]] static std::uint64_t bucket_upper(unsigned idx) noexcept {
+    if (idx < kSubBuckets) return idx;
+    const unsigned msb = (idx >> kSubBits) + kSubBits - 1;
+    const std::uint64_t width = std::uint64_t{1} << (msb - kSubBits);
+    return bucket_lower(idx) + width - 1;
+  }
+
+  void observe(std::uint64_t v) noexcept {
+    if (!telemetry_enabled()) return;
+    buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bucket_count(unsigned idx) const noexcept {
+    return buckets_[idx].load(std::memory_order_relaxed);
+  }
+
+  // The q-quantile (q in [0, 1]) as the upper bound of the bucket
+  // holding the rank-ceil(q * count) observation — exact for values
+  // below kSubBuckets, within 1/kSubBuckets relative error above.
+  // Returns 0 on an empty histogram.
+  [[nodiscard]] std::uint64_t percentile(double q) const noexcept;
+
+ private:
+  friend class MetricsRegistry;
+  void reset() noexcept;
+  std::atomic<std::uint64_t> buckets_[kBuckets]{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+// ---------------------------------------------------------------------
+// Snapshot: a frozen, serializable copy of every instrument.
+// ---------------------------------------------------------------------
+
+enum class MetricType : std::uint8_t { kCounter, kGauge, kHistogram };
+
+[[nodiscard]] const char* to_string(MetricType t) noexcept;
+
+struct MetricSample {
+  std::string name;
+  // Canonical label string "k=v" or "k=v,k=v" (empty: unlabeled). The
+  // cardinality rules (DESIGN.md §13) keep label values to bounded
+  // small sets: committee id, player id, eviction reason.
+  std::string labels;
+  MetricType type = MetricType::kCounter;
+  std::int64_t value = 0;  // counter/gauge level (counter: >= 0)
+  // Histogram-only fields.
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::vector<std::pair<unsigned, std::uint64_t>> buckets;  // sparse idx:count
+  std::uint64_t p50 = 0, p90 = 0, p99 = 0, p999 = 0;
+};
+
+// One flat JSON object (single line, no trailing newline).
+[[nodiscard]] std::string to_json(const MetricSample& s);
+// Parses one snapshot line; returns false on malformed input. Unknown
+// keys are ignored so the schema can grow.
+bool from_json(std::string_view line, MetricSample& s);
+
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;  // registration order
+
+  // The sample with exactly this (name, labels), or nullptr.
+  [[nodiscard]] const MetricSample* find(std::string_view name,
+                                         std::string_view labels = {}) const;
+  // Counter/gauge `value` summed over every label set of `name`.
+  [[nodiscard]] std::int64_t sum_values(std::string_view name) const;
+
+  // JSONL: one sample per line.
+  void write_json(std::ostream& os) const;
+  bool write_json_file(const std::string& path) const;
+  // Prometheus text exposition (counters/gauges plus cumulative
+  // histogram buckets); metric names get a "dprbg_" prefix.
+  void write_prometheus(std::ostream& os) const;
+};
+
+// Parses a whole snapshot stream, skipping blank lines; malformed lines
+// are counted in `*malformed` (if non-null) and dropped.
+MetricsSnapshot read_snapshot(std::istream& is,
+                              std::size_t* malformed = nullptr);
+
+// ---------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------
+
+class MetricsRegistry {
+ public:
+  // Finds or creates the instrument with this (name, labels). The
+  // returned reference is valid for the process lifetime. Asking for an
+  // existing name+labels with a different instrument type aborts
+  // (DPRBG_CHECK) — one name, one type. Lookup takes the registry
+  // mutex: hot paths should acquire once and cache the reference, and
+  // call sites must guard acquisition behind telemetry_enabled() so the
+  // disabled mode never mutates the registry.
+  Counter& counter(std::string_view name, std::string_view labels = {});
+  Gauge& gauge(std::string_view name, std::string_view labels = {});
+  Histogram& histogram(std::string_view name, std::string_view labels = {});
+
+  // Zeroes every instrument's cells. Instruments are never destroyed, so
+  // cached references stay valid across resets (benches reset between
+  // measured runs).
+  void reset();
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string labels;
+    MetricType type;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  Entry& entry(std::string_view name, std::string_view labels,
+               MetricType type);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;  // registration order
+};
+
+// The process-wide registry used by every instrumentation site.
+MetricsRegistry& metrics() noexcept;
+
+// ---------------------------------------------------------------------
+// Timing helper: a steady-clock stamp that call sites take only when
+// telemetry is enabled, so the disabled mode performs no clock reads.
+// ---------------------------------------------------------------------
+
+using TelemetryClock = std::chrono::steady_clock;
+
+[[nodiscard]] inline std::uint64_t telemetry_elapsed_us(
+    TelemetryClock::time_point since) noexcept {
+  const auto d = TelemetryClock::now() - since;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(d).count());
+}
+
+}  // namespace dprbg

@@ -1,14 +1,14 @@
 #include "common/trace.h"
 
 #include <algorithm>
-#include <charconv>
-#include <cstdio>
 #include <fstream>
 #include <map>
 #include <ostream>
 #include <set>
 #include <sstream>
 #include <utility>
+
+#include "common/flat_json.h"
 
 namespace dprbg {
 
@@ -82,30 +82,7 @@ void trace_beacon(std::string_view phase, std::uint32_t committee,
 namespace {
 
 void append_escaped(std::string& out, std::string_view s) {
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
+  flat_json_escape(out, s);
 }
 
 void append_kv(std::string& out, std::string_view key, std::uint64_t v) {
@@ -151,103 +128,6 @@ std::string to_jsonl(const TraceEvent& ev) {
   out += "\"}";
   return out;
 }
-
-namespace {
-
-// Minimal scanner for the flat JSON objects emitted above: string and
-// unsigned-integer values only, no nesting. Tolerates unknown keys and
-// arbitrary key order so the schema can grow.
-class FlatJsonScanner {
- public:
-  explicit FlatJsonScanner(std::string_view s) : s_(s) {}
-
-  // Calls on_field(key, string_value, numeric_value, is_string) per pair.
-  template <typename Fn>
-  bool scan(Fn&& on_field) {
-    skip_ws();
-    if (!eat('{')) return false;
-    skip_ws();
-    if (eat('}')) return true;
-    while (true) {
-      std::string key;
-      if (!parse_string(key)) return false;
-      skip_ws();
-      if (!eat(':')) return false;
-      skip_ws();
-      if (pos_ < s_.size() && s_[pos_] == '"') {
-        std::string value;
-        if (!parse_string(value)) return false;
-        on_field(key, value, std::uint64_t{0}, true);
-      } else {
-        std::uint64_t value = 0;
-        bool negative = eat('-');  // player may be -1
-        const char* begin = s_.data() + pos_;
-        const char* end = s_.data() + s_.size();
-        auto [ptr, ec] = std::from_chars(begin, end, value);
-        if (ec != std::errc() || ptr == begin) return false;
-        pos_ += static_cast<std::size_t>(ptr - begin);
-        if (negative) value = static_cast<std::uint64_t>(-static_cast<std::int64_t>(value));
-        on_field(key, std::string{}, value, false);
-      }
-      skip_ws();
-      if (eat('}')) return true;
-      if (!eat(',')) return false;
-      skip_ws();
-    }
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < s_.size() &&
-           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-  bool eat(char c) {
-    if (pos_ < s_.size() && s_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-  bool parse_string(std::string& out) {
-    if (!eat('"')) return false;
-    out.clear();
-    while (pos_ < s_.size()) {
-      const char c = s_[pos_++];
-      if (c == '"') return true;
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      if (pos_ >= s_.size()) return false;
-      const char esc = s_[pos_++];
-      switch (esc) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case 'n': out += '\n'; break;
-        case 't': out += '\t'; break;
-        case 'u': {
-          if (pos_ + 4 > s_.size()) return false;
-          unsigned code = 0;
-          auto [ptr, ec] = std::from_chars(s_.data() + pos_,
-                                           s_.data() + pos_ + 4, code, 16);
-          if (ec != std::errc() || ptr != s_.data() + pos_ + 4) return false;
-          pos_ += 4;
-          out += static_cast<char>(code & 0xFF);
-          break;
-        }
-        default: return false;
-      }
-    }
-    return false;  // unterminated
-  }
-
-  std::string_view s_;
-  std::size_t pos_ = 0;
-};
-
-}  // namespace
 
 bool from_jsonl(std::string_view line, TraceEvent& ev) {
   ev = TraceEvent{};

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/telemetry.h"
 #include "gf/field_concept.h"
 #include "coin/sealed_coin.h"
 
@@ -24,8 +25,16 @@ class CoinPool {
  public:
   CoinPool() = default;
 
+  // Opts this pool instance into telemetry (pool_depth gauge,
+  // pool_taken_total / pool_drained_total counters). Only the canonical
+  // seed pool should watch — DPrbg enables it on its own pool — so that
+  // scratch pools (the pipeline's per-batch subpool charges) don't
+  // thrash the depth gauge or double-count takes.
+  void watch_telemetry() { watched_ = true; }
+
   void add(SealedCoin<F> coin) {
     coins_.push_back(std::move(coin));
+    note_depth();
   }
 
   [[nodiscard]] std::size_t remaining() const { return coins_.size(); }
@@ -55,6 +64,7 @@ class CoinPool {
     SealedCoin<F> c = std::move(coins_.front());
     coins_.pop_front();
     ++consumed_;
+    note_take(1);
     return c;
   }
 
@@ -73,6 +83,7 @@ class CoinPool {
                std::make_move_iterator(end));
     coins_.erase(coins_.begin(), end);
     consumed_ += m;
+    note_take(m);
     return out;
   }
 
@@ -81,11 +92,32 @@ class CoinPool {
   // ones.
   void add_batch(std::vector<SealedCoin<F>> fresh) {
     for (auto& c : fresh) coins_.push_back(std::move(c));
+    note_depth();
   }
 
  private:
+  // Telemetry is bumped once per honest player per event (lockstep
+  // pools agree, so the depth gauge is last-writer-wins consistent; the
+  // counters read as players x coins). Guarded so the disabled mode
+  // never touches the registry; the statics bind once and stay valid
+  // across registry resets.
+  void note_depth() {
+    if (!watched_ || !telemetry_enabled()) return;
+    static Gauge& depth = metrics().gauge("pool_depth");
+    depth.set(static_cast<std::int64_t>(coins_.size()));
+  }
+  void note_take(std::size_t m) {
+    if (!watched_ || !telemetry_enabled()) return;
+    static Counter& taken = metrics().counter("pool_taken_total");
+    static Counter& drained = metrics().counter("pool_drained_total");
+    taken.add(m);
+    if (coins_.empty()) drained.add(1);
+    note_depth();
+  }
+
   std::deque<SealedCoin<F>> coins_;
   std::size_t consumed_ = 0;
+  bool watched_ = false;
 };
 
 }  // namespace dprbg

@@ -26,6 +26,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/telemetry.h"
 #include "gf/field_concept.h"
 #include "net/endpoint.h"
 #include "coin/coin_expose.h"
@@ -63,6 +64,9 @@ class DPrbg {
 
   DPrbg(Options opts, std::vector<SealedCoin<F>> genesis_coins)
       : opts_(opts) {
+    // The generator's pool is the canonical seed pool — the one whose
+    // depth an operator watches (pool_depth gauge and take counters).
+    pool_.watch_telemetry();
     for (auto& c : genesis_coins) pool_.add(std::move(c));
   }
 
@@ -156,8 +160,12 @@ class DPrbg {
   bool maybe_refill(Io& io) {
     if (opts_.pipeline_depth <= 1) {
       while (pool_.remaining() <= opts_.reserve) {
+        TelemetryClock::time_point t0;
+        const bool tel_on = telemetry_enabled();
+        if (tel_on) t0 = TelemetryClock::now();
         auto gen = coin_gen<F>(io, opts_.batch_size, pool_,
                                opts_.max_iterations);
+        if (tel_on) note_refill_telemetry(t0);
         seed_spent_ += gen.seed_coins_used;
         if (!gen.success) return pool_.remaining() > 0;
         ++refills_;
@@ -183,8 +191,12 @@ class DPrbg {
       popts.leader_coins = opts_.leader_coins;
       popts.max_iterations = opts_.max_iterations;
       next_batch_id_ += opts_.pipeline_depth;
+      TelemetryClock::time_point t0;
+      const bool tel_on = telemetry_enabled();
+      if (tel_on) t0 = TelemetryClock::now();
       auto gen = pipelined_coin_gen<F>(io, opts_.batch_size, pool_,
                                        opts_.pipeline_depth, popts);
+      if (tel_on) note_refill_telemetry(t0);
       seed_spent_ += gen.seed_coins_used;
       if (gen.successes() == 0) return pool_.remaining() > 0;
       for (const auto& batch : gen.batches) {
@@ -194,6 +206,15 @@ class DPrbg {
       }
     }
     return true;
+  }
+
+  // One refill pass (serial coin_gen run or pipelined window) completed.
+  // Called only when telemetry is enabled at pass start.
+  static void note_refill_telemetry(TelemetryClock::time_point t0) {
+    static Histogram& refill_us = metrics().histogram("dprbg_refill_us");
+    static Counter& refills = metrics().counter("dprbg_refills_total");
+    refill_us.observe(telemetry_elapsed_us(t0));
+    refills.add(1);
   }
 
   Options opts_;

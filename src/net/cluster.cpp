@@ -250,6 +250,19 @@ PartyIo& Cluster::handle(int player, std::uint32_t stream) {
   return instance_io(player, stream);
 }
 
+void Cluster::ensure_domain_telemetry(StreamDomain& dom) {
+  // Called with mu_ held and telemetry enabled; the cached pointers stay
+  // valid for the process lifetime (registry never destroys instruments).
+  if (dom.tel_messages != nullptr) return;
+  const std::string l = "committee=" + std::to_string(dom.committee);
+  MetricsRegistry& reg = metrics();
+  dom.tel_messages = &reg.counter("net_domain_messages_total", l);
+  dom.tel_bytes = &reg.counter("net_domain_bytes_total", l);
+  dom.tel_stale = &reg.counter("net_stale_rejections_total", l);
+  dom.tel_foreign = &reg.counter("net_foreign_rejections_total", l);
+  dom.tel_faults = &reg.counter("net_fault_effects_total", l);
+}
+
 void Cluster::do_exchange(RoundStream& st) {
   // Runs with mu_ held, all roster threads quiescent on this stream.
   // Collect every staged envelope of the stream's members, account
@@ -257,8 +270,10 @@ void Cluster::do_exchange(RoundStream& st) {
   std::vector<std::vector<Msg>> next(n_);
   const std::uint64_t round = st.exchange_index++;
   const bool trace_on = tracer().enabled();
+  const bool tel_on = telemetry_enabled();
   const CommCounters comm_before = comm_;
   StreamDomain& dom = *st.domain;
+  if (tel_on) ensure_domain_telemetry(dom);
   // Trace events carry the domain-local batch id; the default domain
   // starts at 0, so unsharded traces are unchanged.
   const std::uint32_t local_batch = st.id - dom.first_stream;
@@ -276,6 +291,7 @@ void Cluster::do_exchange(RoundStream& st) {
     if (msg.batch != st.id) {
       ++stale_rejections_;
       ++dom.stale;
+      if (tel_on) dom.tel_stale->add(1);
       if (trace_on) {
         trace_point("net", "stale", to, round,
                     "from=" + std::to_string(msg.from) +
@@ -287,6 +303,7 @@ void Cluster::do_exchange(RoundStream& st) {
     if (!in_roster(dom, msg.from) || !in_roster(dom, to)) {
       ++foreign_rejections_;
       ++dom.foreign;
+      if (tel_on) dom.tel_foreign->add(1);
       if (trace_on) {
         trace_point("net", "foreign", to, round,
                     "from=" + std::to_string(msg.from), local_batch,
@@ -327,6 +344,7 @@ void Cluster::do_exchange(RoundStream& st) {
           // Every effect is charged to the stream's domain as well, so
           // per-committee fault ledgers sum to faults() exactly.
           dom.faults += delta;
+          if (tel_on) dom.tel_faults->add(delta.total());
           if (trace_on) {
             TraceEvent ev;
             ev.kind = TraceEventKind::kPoint;
@@ -349,6 +367,11 @@ void Cluster::do_exchange(RoundStream& st) {
     p->staged_buffer().clear();
   }
   ++comm_.rounds;
+  if (tel_on) {
+    const CommCounters delivered = comm_ - comm_before;
+    dom.tel_messages->add(delivered.messages);
+    dom.tel_bytes->add(delivered.bytes);
+  }
   if (trace_on) {
     // Round-advance marker, stamped with the exchange's delivered totals.
     TraceEvent ev;
@@ -396,7 +419,20 @@ void Cluster::arrive_and_exchange(PartyIo& party) {
       cv_.notify_all();
     } else {
       const std::uint64_t gen = st.generation;
+      // Barrier wait time as seen by the waiting (non-exchanging)
+      // threads — the operator's backpressure signal. Clock reads only
+      // when telemetry is on; cv_.wait reacquires mu_, so the cached
+      // histogram pointer is read and filled under the lock.
+      TelemetryClock::time_point t0;
+      const bool tel_on = telemetry_enabled();
+      if (tel_on) t0 = TelemetryClock::now();
       cv_.wait(lk, [&] { return st.generation != gen; });
+      if (tel_on) {
+        if (tel_barrier_wait_ == nullptr) {
+          tel_barrier_wait_ = &metrics().histogram("net_barrier_wait_us");
+        }
+        tel_barrier_wait_->observe(telemetry_elapsed_us(t0));
+      }
     }
   }
   if (latency != 0) {
@@ -430,6 +466,22 @@ void Cluster::drop(int player) {
     }
   }
   if (fired) cv_.notify_all();
+}
+
+void Cluster::publish_comm_telemetry() {
+  if (!telemetry_enabled()) return;
+  const std::vector<CommCounters> now = per_player_comm();
+  if (published_comm_.size() < now.size()) {
+    published_comm_.resize(now.size());
+  }
+  MetricsRegistry& reg = metrics();
+  for (std::size_t i = 0; i < now.size(); ++i) {
+    const CommCounters delta = now[i] - published_comm_[i];
+    const std::string l = "player=" + std::to_string(i);
+    reg.counter("net_player_messages_total", l).add(delta.messages);
+    reg.counter("net_player_bytes_total", l).add(delta.bytes);
+    published_comm_[i] = now[i];
+  }
 }
 
 std::vector<CommCounters> Cluster::per_player_comm() const {

@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/telemetry.h"
 #include "net/fault.h"
 #include "net/msg.h"
 #include "rng/chacha.h"
@@ -271,6 +272,13 @@ class Cluster {
   // total sync count across its handles (not summed into comm().rounds,
   // which counts cluster exchanges).
   [[nodiscard]] std::vector<CommCounters> per_player_comm() const;
+  // Surfaces the per-peer communication ledgers (per_player_comm) as
+  // labeled telemetry counters net_player_{messages,bytes}_total
+  // {player=i}. Adds the delta since the previous publish, so repeated
+  // calls keep the counters monotonic. No-op while telemetry is
+  // disabled; must not be called while run() is active (it reads
+  // per_player_comm).
+  void publish_comm_telemetry();
   // Aggregate field-operation counts across all player threads.
   [[nodiscard]] const FieldCounters& field_ops() const { return field_ops_; }
   // Per-player field-operation counts from the last run(). Work done on
@@ -302,6 +310,16 @@ class Cluster {
     std::uint64_t foreign = 0;
     // Simulated round latency override; -1 inherits the cluster's value.
     int round_latency_us = -1;
+    // Cached telemetry counters for this domain, labeled
+    // committee=<id>; filled lazily under mu_ the first time an
+    // exchange runs with telemetry enabled (never touched while
+    // disabled), and stable thereafter — the registry keeps instruments
+    // alive for the process lifetime.
+    Counter* tel_messages = nullptr;
+    Counter* tel_bytes = nullptr;
+    Counter* tel_stale = nullptr;
+    Counter* tel_foreign = nullptr;
+    Counter* tel_faults = nullptr;
   };
 
   // One independent lockstep round stream. Streams share the cluster's
@@ -327,6 +345,9 @@ class Cluster {
   void arrive_and_exchange(PartyIo& party);
   void drop(int player);
   void do_exchange(RoundStream& st);  // called with mu_ held
+  // Fills a domain's cached telemetry counters (with mu_ held, telemetry
+  // enabled).
+  void ensure_domain_telemetry(StreamDomain& dom);
 
   // Domain lookup/roster helpers (domain registration is forbidden while
   // run() is active, so lock-free reads from player threads are safe).
@@ -373,6 +394,11 @@ class Cluster {
   std::uint64_t stale_rejections_ = 0;
   std::uint64_t foreign_rejections_ = 0;
   unsigned round_latency_us_ = 0;
+
+  // Telemetry: barrier-wait histogram (cached under mu_) and the
+  // per-player comm levels already published as counters.
+  Histogram* tel_barrier_wait_ = nullptr;
+  std::vector<CommCounters> published_comm_;
 };
 
 }  // namespace dprbg

@@ -1,0 +1,373 @@
+// Tests for the live telemetry subsystem (common/telemetry.h):
+//   * enable/disable contract — with telemetry disabled, a full cluster
+//     run performs ZERO registry mutations (no instruments created, no
+//     cells bumped): the disabled mode is an identity, not just "cheap";
+//   * histogram bucket math — log-bucketed observations land in the
+//     bucket whose [lower, upper] range brackets the value, and every
+//     percentile matches a scalar reference computation bucket-for-bucket;
+//   * snapshot JSONL round-trip and the Prometheus writer;
+//   * registry thread-safety — an 8-thread hammer on shared instruments
+//     (exercised under TSan by tools/sanitize.sh);
+//   * reconciliation — an enabled cluster run's counters equal the
+//     cluster's own ledgers exactly, and BeaconStatus reflects the
+//     HealthBoard it distills.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/telemetry.h"
+#include "beacon/beacon_status.h"
+#include "dprbg/coin_pool.h"
+#include "dprbg/trusted_dealer.h"
+#include "gf/gf2.h"
+#include "net/cluster.h"
+
+namespace dprbg {
+namespace {
+
+using F = GF2_64;
+
+// Every test leaves the global registry empty and telemetry off.
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_telemetry_enabled(false);
+    metrics().reset();
+  }
+  void TearDown() override {
+    set_telemetry_enabled(false);
+    metrics().reset();
+  }
+};
+
+// ---------------------------------------------------------------------
+// Enable/disable contract.
+// ---------------------------------------------------------------------
+
+TEST_F(TelemetryTest, DisabledInstrumentMutatorsAreIdentity) {
+  Counter& c = metrics().counter("t_counter");
+  Gauge& g = metrics().gauge("t_gauge");
+  Histogram& h = metrics().histogram("t_hist");
+  ASSERT_FALSE(telemetry_enabled());
+  c.add(5);
+  g.set(42);
+  g.add(-3);
+  h.observe(1000);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+
+  set_telemetry_enabled(true);
+  c.add(5);
+  g.set(42);
+  h.observe(1000);
+  EXPECT_EQ(c.value(), 5u);
+  EXPECT_EQ(g.value(), 42);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum(), 1000u);
+}
+
+// The instrumented hot paths must not even CREATE instruments while
+// telemetry is off — a disabled run leaves the registry bit-for-bit
+// untouched. This is the zero-overhead claim the E19 bench quantifies.
+TEST_F(TelemetryTest, DisabledClusterRunPerformsZeroRegistryMutations) {
+  // reset() zeroes instruments but never destroys them (cached refs must
+  // stay valid), so measure the registry as a delta, not an absolute.
+  const std::size_t size_before = metrics().size();
+  const int n = 5;
+  const unsigned t = 1;
+  auto genesis = trusted_dealer_coins<F>(n, t, 4, /*seed=*/11);
+  Cluster cluster(n, static_cast<int>(t), /*seed=*/11);
+  cluster.run(std::vector<Cluster::Program>(n, [&](PartyIo& io) {
+    CoinPool<F> pool;
+    for (auto& c : genesis[io.id()]) pool.add(std::move(c));
+    io.send_all(make_tag(ProtoId::kApp, 0, 0), {1, 2, 3});
+    io.sync();
+    (void)pool.take();
+  }));
+  cluster.publish_comm_telemetry();
+  EXPECT_EQ(metrics().size(), size_before);
+  EXPECT_GT(cluster.comm().messages, 0u);  // the run really ran
+}
+
+// ---------------------------------------------------------------------
+// Histogram bucket math.
+// ---------------------------------------------------------------------
+
+TEST_F(TelemetryTest, BucketBoundsBracketEveryValue) {
+  // Small values are exact buckets.
+  for (std::uint64_t v = 0; v < 8; ++v) {
+    EXPECT_EQ(Histogram::bucket_of(v), static_cast<unsigned>(v));
+    EXPECT_EQ(Histogram::bucket_lower(Histogram::bucket_of(v)), v);
+    EXPECT_EQ(Histogram::bucket_upper(Histogram::bucket_of(v)), v);
+  }
+  // Larger values: lower <= v <= upper, buckets contiguous, index
+  // monotone in v.
+  const std::vector<std::uint64_t> probes = {
+      8, 9, 15, 16, 17, 100, 1000, 4095, 4096, 123456789,
+      (1ull << 40) + 12345, ~0ull};
+  unsigned last = 0;
+  for (std::uint64_t v : probes) {
+    const unsigned b = Histogram::bucket_of(v);
+    ASSERT_LT(b, Histogram::kBuckets) << v;
+    EXPECT_LE(Histogram::bucket_lower(b), v) << v;
+    EXPECT_GE(Histogram::bucket_upper(b), v) << v;
+    EXPECT_GE(b, last) << v;
+    last = b;
+  }
+  // Contiguity: each bucket's upper is the next bucket's lower - 1.
+  for (unsigned b = 0; b + 1 < Histogram::kBuckets; ++b) {
+    EXPECT_EQ(Histogram::bucket_upper(b) + 1, Histogram::bucket_lower(b + 1))
+        << b;
+  }
+  // Relative error bound: bucket width <= lower/8 from 8 upward (the
+  // <=12.5% widening the header promises). lower >= 2^msb and width =
+  // 2^(msb-3), so width * 8 <= lower exactly.
+  for (unsigned b = 8; b < Histogram::kBuckets; ++b) {
+    const std::uint64_t lo = Histogram::bucket_lower(b);
+    const std::uint64_t width = Histogram::bucket_upper(b) - lo + 1;
+    EXPECT_LE(width, lo / 8) << b;
+  }
+}
+
+// Percentiles against a scalar reference: the histogram may widen a
+// value to its bucket, so the correct assertion is bucket equality —
+// percentile(q) must be the upper bound of the bucket holding the
+// rank-ceil(q*count) element of the sorted sample.
+TEST_F(TelemetryTest, PercentilesMatchScalarReference) {
+  set_telemetry_enabled(true);
+  Histogram& h = metrics().histogram("t_pctl");
+  std::vector<std::uint64_t> values;
+  std::uint64_t x = 88172645463325252ull;  // xorshift64 stream
+  for (int i = 0; i < 5000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    const std::uint64_t v = x % 1000000;  // microsecond-latency shaped
+    values.push_back(v);
+    h.observe(v);
+  }
+  std::sort(values.begin(), values.end());
+  ASSERT_EQ(h.count(), values.size());
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    // Same ceil-rank the implementation uses.
+    const double target = q * static_cast<double>(values.size());
+    std::size_t rank = static_cast<std::size_t>(target);
+    if (static_cast<double>(rank) < target) ++rank;
+    if (rank == 0) rank = 1;
+    const std::uint64_t ref = values[std::min(rank, values.size()) - 1];
+    const std::uint64_t got = h.percentile(q);
+    EXPECT_EQ(Histogram::bucket_of(got), Histogram::bucket_of(ref))
+        << "q=" << q << " ref=" << ref << " got=" << got;
+    EXPECT_EQ(got, Histogram::bucket_upper(Histogram::bucket_of(ref)))
+        << "q=" << q;
+  }
+  // Sum is exact (not bucketed).
+  std::uint64_t sum = 0;
+  for (std::uint64_t v : values) sum += v;
+  EXPECT_EQ(h.sum(), sum);
+}
+
+// ---------------------------------------------------------------------
+// Registry semantics.
+// ---------------------------------------------------------------------
+
+TEST_F(TelemetryTest, RegistryKeysByNameAndLabelsWithStableRefs) {
+  set_telemetry_enabled(true);
+  const std::size_t size_before = metrics().size();
+  Counter& a = metrics().counter("reqs", "committee=0");
+  Counter& b = metrics().counter("reqs", "committee=1");
+  Counter& a2 = metrics().counter("reqs", "committee=0");
+  EXPECT_NE(&a, &b);
+  EXPECT_EQ(&a, &a2);
+  a.add(3);
+  b.add(4);
+  EXPECT_EQ(metrics().size(), size_before + 2);
+
+  // reset() zeroes values but keeps instruments (cached refs stay valid).
+  metrics().reset();
+  EXPECT_EQ(metrics().size(), size_before + 2);
+  EXPECT_EQ(a.value(), 0u);
+  a.add(7);
+  EXPECT_EQ(metrics().counter("reqs", "committee=0").value(), 7u);
+}
+
+TEST_F(TelemetryTest, SnapshotRoundTripsThroughJsonl) {
+  set_telemetry_enabled(true);
+  metrics().counter("c_total", "committee=0").add(12);
+  metrics().gauge("g_depth").set(-5);
+  Histogram& h = metrics().histogram("h_us", "phase=combine");
+  h.observe(3);
+  h.observe(1000);
+  h.observe(123456);
+  const MetricsSnapshot snap = metrics().snapshot();
+
+  std::ostringstream os;
+  snap.write_json(os);
+  std::istringstream is(os.str());
+  std::size_t malformed = 9;
+  const MetricsSnapshot back = read_snapshot(is, &malformed);
+  EXPECT_EQ(malformed, 0u);
+  ASSERT_EQ(back.samples.size(), snap.samples.size());
+  for (std::size_t i = 0; i < snap.samples.size(); ++i) {
+    const MetricSample& x = snap.samples[i];
+    const MetricSample* y = back.find(x.name, x.labels);
+    ASSERT_NE(y, nullptr) << x.name;
+    EXPECT_EQ(y->type, x.type);
+    EXPECT_EQ(y->value, x.value);
+    EXPECT_EQ(y->count, x.count);
+    EXPECT_EQ(y->sum, x.sum);
+    EXPECT_EQ(y->buckets, x.buckets);
+    EXPECT_EQ(y->p50, x.p50);
+    EXPECT_EQ(y->p999, x.p999);
+  }
+  // Unknown keys and garbage lines are tolerated, counted, skipped.
+  std::istringstream dirty(
+      "{\"name\":\"ok\",\"labels\":\"\",\"type\":\"counter\",\"value\":1,"
+      "\"future_field\":\"ignored\"}\n"
+      "not json at all\n");
+  malformed = 0;
+  const MetricsSnapshot tol = read_snapshot(dirty, &malformed);
+  EXPECT_EQ(tol.samples.size(), 1u);
+  EXPECT_EQ(malformed, 1u);
+}
+
+TEST_F(TelemetryTest, PrometheusWriterEmitsTypedSamples) {
+  set_telemetry_enabled(true);
+  metrics().counter("c_total", "committee=2").add(9);
+  Histogram& h = metrics().histogram("h_us");
+  h.observe(5);
+  h.observe(70);
+  std::ostringstream os;
+  metrics().snapshot().write_prometheus(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# TYPE dprbg_c_total counter"), std::string::npos);
+  EXPECT_NE(text.find("dprbg_c_total{committee=\"2\"} 9"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE dprbg_h_us histogram"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("dprbg_h_us_sum 75"), std::string::npos);
+  EXPECT_NE(text.find("dprbg_h_us_count 2"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Thread safety (TSan-exercised via tools/sanitize.sh).
+// ---------------------------------------------------------------------
+
+TEST_F(TelemetryTest, ConcurrentMutationAndSnapshotIsExact) {
+  set_telemetry_enabled(true);
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100000;
+  Counter& c = metrics().counter("hammer_total");
+  Gauge& g = metrics().gauge("hammer_depth");
+  Histogram& h = metrics().histogram("hammer_us");
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int ti = 0; ti < kThreads; ++ti) {
+    threads.emplace_back([ti, &c, &g, &h] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        c.add(1);
+        g.set(static_cast<std::int64_t>(i));
+        h.observe(i % 4096);
+        if (i % 1024 == 0) {
+          // Concurrent registry lookups race instrument creation.
+          metrics()
+              .counter("hammer_lane", "lane=" + std::to_string(ti % 3))
+              .add(1);
+          (void)metrics().snapshot();
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  std::uint64_t lanes = 0;
+  for (int lane = 0; lane < 3; ++lane) {
+    lanes +=
+        metrics().counter("hammer_lane", "lane=" + std::to_string(lane))
+            .value();
+  }
+  // i = 0, 1024, ... fires ceil(kPerThread / 1024) times per thread.
+  EXPECT_EQ(lanes, kThreads * ((kPerThread + 1023) / 1024));
+  EXPECT_GE(g.value(), 0);  // last-writer-wins, but always a written value
+}
+
+// ---------------------------------------------------------------------
+// Reconciliation with the cluster's own ledgers.
+// ---------------------------------------------------------------------
+
+TEST_F(TelemetryTest, EnabledClusterRunReconcilesWithClusterLedgers) {
+  set_telemetry_enabled(true);
+  const int n = 5;
+  Cluster cluster(n, 1, /*seed=*/21);
+  cluster.run(std::vector<Cluster::Program>(n, [](PartyIo& io) {
+    for (int r = 0; r < 3; ++r) {
+      io.send_all(make_tag(ProtoId::kApp, 0, r), {9, 9, 9, 9});
+      io.sync();
+    }
+  }));
+  cluster.publish_comm_telemetry();
+  const MetricsSnapshot snap = metrics().snapshot();
+  EXPECT_EQ(snap.sum_values("net_domain_messages_total"),
+            static_cast<std::int64_t>(cluster.comm().messages));
+  EXPECT_EQ(snap.sum_values("net_domain_bytes_total"),
+            static_cast<std::int64_t>(cluster.comm().bytes));
+  EXPECT_EQ(snap.sum_values("net_stale_rejections_total"),
+            static_cast<std::int64_t>(cluster.stale_rejections()));
+  EXPECT_EQ(snap.sum_values("net_player_messages_total"),
+            static_cast<std::int64_t>(cluster.comm().messages));
+  EXPECT_EQ(snap.sum_values("net_player_bytes_total"),
+            static_cast<std::int64_t>(cluster.comm().bytes));
+  // Per-player counters match the trace ledger player by player.
+  const auto per_player = cluster.per_player_comm();
+  for (int p = 0; p < n; ++p) {
+    const MetricSample* s = snap.find("net_player_bytes_total",
+                                      "player=" + std::to_string(p));
+    ASSERT_NE(s, nullptr) << p;
+    EXPECT_EQ(s->value, static_cast<std::int64_t>(per_player[p].bytes)) << p;
+  }
+  // publish is delta-based: publishing twice with no traffic in between
+  // must not double-count.
+  cluster.publish_comm_telemetry();
+  const MetricsSnapshot again = metrics().snapshot();
+  EXPECT_EQ(again.sum_values("net_player_bytes_total"),
+            static_cast<std::int64_t>(cluster.comm().bytes));
+  // The barrier-wait histogram saw every non-last arrival.
+  const MetricSample* wait = snap.find("net_barrier_wait_us");
+  ASSERT_NE(wait, nullptr);
+  EXPECT_GT(wait->count, 0u);
+}
+
+TEST_F(TelemetryTest, BeaconStatusDistillsHealthBoard) {
+  FailoverPolicy policy;
+  HealthBoard board(/*committees=*/3, /*batches=*/4, policy);
+  board.report_batch_done(0, 0);
+  board.report_batch_done(0, 1);
+  board.evict(2, 1, EvictionReason::kCrashed);
+  const BeaconStatus st = beacon_status(board);
+  EXPECT_EQ(st.committees, 3u);
+  EXPECT_EQ(st.live, 2u);
+  EXPECT_EQ(st.evicted, 1u);
+  EXPECT_TRUE(st.degraded);
+  EXPECT_EQ(st.counters.evictions, 1u);
+  EXPECT_EQ(st.per_committee[0].batches_done, 2u);
+  EXPECT_EQ(st.per_committee[2].health, CommitteeHealth::kEvicted);
+  EXPECT_EQ(st.per_committee[2].reason, EvictionReason::kCrashed);
+  // Telemetry disabled: no pool gauge to read.
+  EXPECT_EQ(st.pool_depth, -1);
+  const std::string line = st.to_json();
+  EXPECT_NE(line.find("\"kind\":\"beacon_status\""), std::string::npos);
+  EXPECT_NE(line.find("\"evicted\":1"), std::string::npos);
+  EXPECT_NE(line.find("2:evicted(crashed)@1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dprbg

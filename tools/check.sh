@@ -75,6 +75,31 @@ echo "$degraded_out" | grep -q '"mode": "crashed".*"evicted": "yes"' || {
 echo "=== [check] beacon failover chaos suite ==="
 ./build/tests/chaos_beacon_test
 
+echo "=== [check] telemetry reconciliation gate ==="
+# The telemetry unit suite (enable/disable identity, bucket math, the
+# 8-thread hammer — the sanitizer matrix reruns it under TSan), then
+# both benches' --metrics reconciliation: every snapshot counter must
+# equal the cluster's own ledgers EXACTLY, and the beacon gate
+# additionally cross-checks the trace layer's per-round comm deltas.
+./build/tests/telemetry_test
+metrics_dir="$(mktemp -d)"
+trap 'rm -rf "$metrics_dir"' EXIT
+./build/bench/pipeline --json --smoke --metrics="$metrics_dir/pipeline.jsonl" \
+  >/dev/null || {
+  echo "check.sh: pipeline telemetry reconciliation failed" >&2
+  exit 1
+}
+./build/bench/beacon --json --smoke --metrics="$metrics_dir/beacon.jsonl" \
+  >/dev/null || {
+  echo "check.sh: beacon telemetry reconciliation failed" >&2
+  exit 1
+}
+# The snapshots must render cleanly (no malformed lines -> exit 0).
+./build/tools/metrics_report report "$metrics_dir/beacon.jsonl" >/dev/null
+./build/tools/metrics_report top-talkers "$metrics_dir/beacon.jsonl" >/dev/null
+./build/tools/metrics_report diff "$metrics_dir/pipeline.jsonl" \
+  "$metrics_dir/beacon.jsonl" >/dev/null
+
 if [[ "$mode" == "full" ]]; then
   echo "=== [check] sanitizer matrix ==="
   tools/sanitize.sh all
