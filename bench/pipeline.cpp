@@ -22,6 +22,14 @@
 // against the cluster's own counters — the E17-style bug-trap; exits 1
 // on any mismatch). The measured table rows always run with telemetry
 // DISABLED, so --metrics never perturbs the reported numbers.
+//
+// --sweep-M (E20, DESIGN.md §14) replaces the depth table with a batch-
+// width sweep: M = 4 ... 4096 coins per batch at depths 1 and 4, with
+// the depth-1 serial cross-check and the stale==0 invariant hard-
+// asserted at every M (exit 1 on any violation). Protocol cost per M is
+// identical across kernel dispatch modes, so comparing this sweep
+// against a DPRBG_FORCE_SCALAR=1 run isolates the wide-batch compute
+// engine's contribution (BENCH_pipeline.json records both).
 
 #include <chrono>
 #include <cstdio>
@@ -37,6 +45,7 @@
 #include "dprbg/coin_pool.h"
 #include "dprbg/trusted_dealer.h"
 #include "gf/gf2.h"
+#include "gf/zq_simd.h"
 #include "net/cluster.h"
 
 namespace dprbg {
@@ -47,7 +56,7 @@ using bench::fmt;
 
 constexpr int kN = 7;
 constexpr int kT = 1;
-constexpr unsigned kM = 4;  // coins per batch
+constexpr unsigned kM = 4;  // coins per batch (default; --sweep-M varies it)
 constexpr std::uint64_t kSeed = 4242;
 
 struct RunStats {
@@ -60,7 +69,8 @@ struct RunStats {
   std::vector<CoinGenResult<F>> outcomes;
 };
 
-RunStats run_depth(unsigned depth, unsigned batches, unsigned rtt_us) {
+RunStats run_depth(unsigned depth, unsigned batches, unsigned rtt_us,
+                   unsigned m) {
   auto genesis =
       trusted_dealer_coins<F>(kN, kT, static_cast<int>(4 * batches + 8),
                               kSeed);
@@ -74,12 +84,12 @@ RunStats run_depth(unsigned depth, unsigned batches, unsigned rtt_us) {
     for (auto& c : genesis[io.id()]) pool.add(std::move(c));
     PipelineOptions opts;
     opts.depth = depth;
-    results[io.id()] = pipelined_coin_gen<F>(io, kM, pool, batches, opts);
+    results[io.id()] = pipelined_coin_gen<F>(io, m, pool, batches, opts);
   }));
   const auto stop = std::chrono::steady_clock::now();
   stats.wall_ms =
       std::chrono::duration<double, std::milli>(stop - start).count();
-  stats.coins = results[0].successes() * kM;
+  stats.coins = results[0].successes() * m;
   stats.comm = cluster.comm();
   stats.faults = cluster.faults().total();
   stats.stale = cluster.stale_rejections();
@@ -89,7 +99,8 @@ RunStats run_depth(unsigned depth, unsigned batches, unsigned rtt_us) {
 
 // The pre-pipeline idiom: a serial loop of coin_gen calls on the root
 // stream, same seed, same latency model.
-RunStats run_serial_reference(unsigned batches, unsigned rtt_us) {
+RunStats run_serial_reference(unsigned batches, unsigned rtt_us,
+                              unsigned m) {
   auto genesis =
       trusted_dealer_coins<F>(kN, kT, static_cast<int>(4 * batches + 8),
                               kSeed);
@@ -102,7 +113,7 @@ RunStats run_serial_reference(unsigned batches, unsigned rtt_us) {
     CoinPool<F> pool;
     for (auto& c : genesis[io.id()]) pool.add(std::move(c));
     for (unsigned b = 0; b < batches; ++b) {
-      results[io.id()].push_back(coin_gen<F>(io, kM, pool));
+      results[io.id()].push_back(coin_gen<F>(io, m, pool));
     }
   }));
   const auto stop = std::chrono::steady_clock::now();
@@ -112,7 +123,7 @@ RunStats run_serial_reference(unsigned batches, unsigned rtt_us) {
   for (const auto& r : results[0]) {
     if (r.success) ++successes;
   }
-  stats.coins = successes * kM;
+  stats.coins = successes * m;
   stats.comm = cluster.comm();
   stats.faults = cluster.faults().total();
   stats.stale = cluster.stale_rejections();
@@ -234,10 +245,16 @@ int main(int argc, char** argv) {
   parse_args(argc, argv);
   unsigned batches = 8;
   unsigned rtt_us = 2000;
+  bool sweep = false;
+  bool smoke = false;
   std::string metrics_path;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg(argv[i]);
-    if (arg == "--smoke") batches = 4;
+    if (arg == "--smoke") {
+      batches = 4;
+      smoke = true;
+    }
+    if (arg == "--sweep-M") sweep = true;
     if (arg.rfind("--rtt-us=", 0) == 0) {
       rtt_us = static_cast<unsigned>(std::atoi(argv[i] + 9));
     }
@@ -245,6 +262,65 @@ int main(int argc, char** argv) {
       batches = static_cast<unsigned>(std::atoi(argv[i] + 10));
     }
     if (arg.rfind("--metrics=", 0) == 0) metrics_path = arg.substr(10);
+  }
+
+  if (sweep) {
+    print_header(
+        "E20: Coin-Gen throughput vs batch width M",
+        "per-coin protocol cost is flat in M (Lemma 8 rounds are "
+        "M-independent), so coins/sec grows with M until compute "
+        "dominates; the wide-batch kernels move that crossover and the "
+        "compute ceiling — compare against a DPRBG_FORCE_SCALAR=1 run");
+    const std::vector<unsigned> ms =
+        smoke ? std::vector<unsigned>{4, 64, 1024}
+              : std::vector<unsigned>{4, 16, 64, 256, 1024, 4096};
+    const unsigned sweep_batches = smoke ? 2 : 4;
+    Table table({"M", "depth", "coins", "wall_ms", "coins_per_s",
+                 "serial_match", "stale", "faults"});
+    table.context("n", fmt(kN));
+    table.context("t", fmt(kT));
+    table.context("rtt_us", fmt(rtt_us));
+    table.context("batches", fmt(sweep_batches));
+    table.context("zq_dispatch", simd::dispatch_name());
+    table.context("clmul_hw", gf2_detail::clmul_hw ? "1" : "0");
+    bool clean = true;
+    for (const unsigned m : ms) {
+      const RunStats serial = run_serial_reference(sweep_batches, rtt_us, m);
+      if (serial.stale != 0) clean = false;
+      for (const unsigned depth : {1u, 4u}) {
+        const RunStats r = run_depth(depth, sweep_batches, rtt_us, m);
+        std::string match = "n/a";
+        if (depth == 1) {
+          match = outcomes_match(r.outcomes, serial.outcomes) &&
+                          r.comm.messages == serial.comm.messages &&
+                          r.comm.bytes == serial.comm.bytes &&
+                          r.comm.rounds == serial.comm.rounds
+                      ? "yes"
+                      : "NO";
+          if (match == "NO") {
+            std::fprintf(stderr,
+                         "FAIL: depth-1 serial mismatch at M=%u\n", m);
+            clean = false;
+          }
+        }
+        if (r.stale != 0) {
+          std::fprintf(stderr, "FAIL: %llu stale rejections at M=%u\n",
+                       static_cast<unsigned long long>(r.stale), m);
+          clean = false;
+        }
+        table.row({fmt(m), fmt(depth), fmt(r.coins), fmt(r.wall_ms),
+                   fmt(r.coins / (r.wall_ms / 1000.0)), match,
+                   fmt(r.stale), fmt(r.faults)});
+      }
+    }
+    table.print();
+    if (!json_mode()) {
+      std::printf(
+          "\nshape check: coins/sec rises with M (round latency "
+          "amortized over more coins); serial_match yes and stale 0 at "
+          "every M.\n");
+    }
+    return clean ? 0 : 1;
   }
 
   print_header(
@@ -255,7 +331,7 @@ int main(int argc, char** argv) {
       "cost");
 
   // Serial reference for the bit-for-bit cross-check.
-  const RunStats serial = run_serial_reference(batches, rtt_us);
+  const RunStats serial = run_serial_reference(batches, rtt_us, kM);
 
   Table table({"depth", "batches", "coins", "wall_ms", "coins_per_s",
                "speedup", "serial_match", "stale", "faults"});
@@ -266,7 +342,7 @@ int main(int argc, char** argv) {
   double depth1_wall = 0.0;
   bool stale_clean = serial.stale == 0;
   for (unsigned depth : {1u, 2u, 4u}) {
-    const RunStats r = run_depth(depth, batches, rtt_us);
+    const RunStats r = run_depth(depth, batches, rtt_us, kM);
     if (r.stale != 0) {
       std::fprintf(stderr, "FAIL: %llu stale rejections at depth %u\n",
                    static_cast<unsigned long long>(r.stale), depth);

@@ -37,12 +37,14 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/trace.h"
 #include "gf/field_concept.h"
 #include "gf/field_io.h"
 #include "net/endpoint.h"
 #include "net/msg.h"
 #include "poly/berlekamp_welch.h"
+#include "poly/interpolate.h"
 #include "poly/polynomial.h"
 #include "sharing/shamir.h"
 #include "vss/batch_vss.h"
@@ -135,9 +137,12 @@ BitGenView<F> bit_gen_single(Io& io, int dealer, unsigned m_total,
     TraceSpan deal(io, "bitgen", "deal");
     if (io.id() == dealer) {
       DPRBG_CHECK(dealer_polys.size() == m_total);
+      ArenaScope scope(scratch_arena());
+      ScratchVec<F> vals(scope, m_total);
       for (int i = 0; i < n; ++i) {
-        ByteWriter w;
-        for (const auto& f : dealer_polys) write_elem(w, f(eval_point<F>(i)));
+        eval_polys_block<F>(dealer_polys, eval_point<F>(i), vals);
+        ByteWriter w(m_total * F::kBytes);
+        for (const F& v : vals) write_elem(w, v);
         io.send(i, row_tag, std::move(w).take());
       }
     }
@@ -211,9 +216,12 @@ BitGenAllOutcome<F> bit_gen_all(Io& io,
   // Everyone deals (step 1 of its own instance).
   {
     TraceSpan deal(io, "bitgen", "deal");
+    ArenaScope scope(scratch_arena());
+    ScratchVec<F> vals(scope, m_total);
     for (int i = 0; i < n; ++i) {
-      ByteWriter w;
-      for (const auto& f : my_polys) write_elem(w, f(eval_point<F>(i)));
+      eval_polys_block<F>(my_polys, eval_point<F>(i), vals);
+      ByteWriter w(m_total * F::kBytes);
+      for (const F& v : vals) write_elem(w, v);
       io.send(i, row_tag, std::move(w).take());
     }
   }
@@ -237,14 +245,27 @@ BitGenAllOutcome<F> bit_gen_all(Io& io,
   out.challenge = r_val;
 
   // Batched combination message: one presence flag + beta per dealer.
+  // The Horner combinations for all present dealers run through the
+  // blocked kernel (one SoA pass over the share matrix); wire format and
+  // per-row op counts are identical to the scalar per-dealer loop.
   TraceSpan combine(io, "bitgen", "combine");
   {
-    ByteWriter w;
+    ArenaScope scope(scratch_arena());
+    ScratchVec<const F*> rows(scope, n);
+    std::size_t present = 0;
     for (int dealer = 0; dealer < n; ++dealer) {
       const auto& row = out.views[dealer].my_row;
-      w.u8(row.empty() ? 0 : 1);
-      write_elem(w, row.empty() ? F::zero()
-                                : batch_combine<F>(row, *r_val));
+      if (!row.empty()) rows[present++] = row.data();
+    }
+    ScratchVec<F> betas(scope, present);
+    batch_combine_block<F>(std::span<const F* const>(rows.data(), present),
+                           m_total, *r_val, betas);
+    ByteWriter w(static_cast<std::size_t>(n) * (1 + F::kBytes));
+    std::size_t next_beta = 0;
+    for (int dealer = 0; dealer < n; ++dealer) {
+      const bool have = !out.views[dealer].my_row.empty();
+      w.u8(have ? 1 : 0);
+      write_elem(w, have ? betas[next_beta++] : F::zero());
     }
     io.send_all(combo_tag, w.data());
   }

@@ -20,9 +20,11 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/trace.h"
 #include "gf/field_concept.h"
 #include "gf/field_io.h"
@@ -53,25 +55,32 @@ std::optional<F> coin_expose(Io& io, const SealedCoin<F>& coin,
   }
   const Inbox& in = io.sync();
 
-  std::vector<PointValue<F>> points;
+  // The share points live in per-thread arena scratch: one exposure runs
+  // per coin per round, so the round loop reuses the same warm chunk
+  // instead of mallocing a fresh vector every time.
+  ArenaScope scope(scratch_arena());
+  ScratchVec<PointValue<F>> points(scope, static_cast<std::size_t>(io.n()));
+  std::size_t n_points = 0;
   for (const Msg* m : in.with_tag(tag)) {
     // Exactly one field element, validated before use; anything else is
     // malformed and drops the sender's point.
     const auto share = decode_elem_row<F>(m->body, 1);
-    if (!share) continue;
-    points.push_back({eval_point<F>(m->from), (*share)[0]});
+    if (!share || n_points >= points.size()) continue;
+    points[n_points++] = {eval_point<F>(m->from), (*share)[0]};
   }
-  if (points.size() < coin.degree + 1) {
+  if (n_points < coin.degree + 1) {
     trace_point("coin-expose", "decode-fail", io.id(), io.rounds(),
                 "too few shares", io.stream(), io.committee());
     return std::nullopt;
   }
   // Tolerate up to t lies, but never more than the distance allows.
-  const unsigned by_distance = static_cast<unsigned>(
-      (points.size() - coin.degree - 1) / 2);
+  const unsigned by_distance =
+      static_cast<unsigned>((n_points - coin.degree - 1) / 2);
   const unsigned max_errors =
       std::min(static_cast<unsigned>(io.t()), by_distance);
-  const auto poly = berlekamp_welch<F>(points, coin.degree, max_errors);
+  const auto poly = berlekamp_welch<F>(
+      std::span<const PointValue<F>>(points.data(), n_points), coin.degree,
+      max_errors);
   if (!poly) {
     trace_point("coin-expose", "decode-fail", io.id(), io.rounds(),
                 "berlekamp-welch failed", io.stream(), io.committee());

@@ -42,12 +42,14 @@
 #include <vector>
 
 #include "ba/binary_ba.h"
+#include "common/arena.h"
 #include "common/trace.h"
 #include "gf/field_concept.h"
 #include "gf/field_io.h"
 #include "gradecast/gradecast.h"
 #include "net/endpoint.h"
 #include "net/msg.h"
+#include "poly/interpolate.h"
 #include "poly/polynomial.h"
 #include "sharing/shamir.h"
 #include "coin/bitgen.h"
@@ -297,29 +299,41 @@ CoinGenResult<F> coin_gen(Io& io, unsigned m, CoinPool<F>& pool,
     // Qualification: my own rows satisfy F_k for every summed dealer...
     // for every clique member (condition (iii) quantifies over all of
     // C_l, and qualification must match what other players verified).
-    result.qualified = true;
+    // All |C_l| Horner combinations run through the blocked kernel in
+    // one SoA pass (same per-row op sequence as the scalar loop); any
+    // missing row disqualifies outright, exactly as before.
+    result.qualified = bg.challenge.has_value();
     for (int k : msg->clique) {
-      const auto& row = bg.views[k].my_row;
-      if (row.empty() || !bg.challenge) {
-        result.qualified = false;
-        break;
+      if (bg.views[k].my_row.empty()) result.qualified = false;
+    }
+    if (result.qualified) {
+      ArenaScope scope(scratch_arena());
+      ScratchVec<const F*> rows(scope, msg->clique.size());
+      for (std::size_t c = 0; c < msg->clique.size(); ++c) {
+        rows[c] = bg.views[msg->clique[c]].my_row.data();
       }
-      const F my_beta = batch_combine<F>(row, *bg.challenge);
-      if (msg->polys.at(k)(eval_point<F>(io.id())) != my_beta) {
-        result.qualified = false;
-        break;
+      ScratchVec<F> betas(scope, msg->clique.size());
+      batch_combine_block<F>(rows, m_total, *bg.challenge, betas);
+      for (std::size_t c = 0; c < msg->clique.size(); ++c) {
+        const int k = msg->clique[c];
+        if (msg->polys.at(k)(eval_point<F>(io.id())) != betas[c]) {
+          result.qualified = false;
+          break;
+        }
       }
     }
     if (result.qualified) {
+      ArenaScope scope(scratch_arena());
       result.coin_shares.assign(m, F::zero());
-      for (unsigned h = 0; h < m; ++h) {
-        F sigma = F::zero();
-        // Row index h+1 skips the blinding polynomial at index 0.
-        for (int j : result.summed_dealers) {
-          sigma = sigma + bg.views[j].my_row[h + 1];
-        }
-        result.coin_shares[h] = sigma;
+      // Row offset +1 skips the blinding polynomial at index 0. The
+      // blocked row sum performs the same m * |S| additions as the
+      // scalar h-outer/j-inner loop (addition is associative and exact,
+      // so the reordering is bit-for-bit invisible).
+      ScratchVec<const F*> rows(scope, result.summed_dealers.size());
+      for (std::size_t c = 0; c < result.summed_dealers.size(); ++c) {
+        rows[c] = bg.views[result.summed_dealers[c]].my_row.data() + 1;
       }
+      accumulate_rows_block<F>(rows, result.coin_shares);
     }
     return result;
   }

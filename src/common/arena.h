@@ -1,0 +1,175 @@
+// Bump-allocated scratch memory for per-round hot paths.
+//
+// The interpolation/decode layers used to allocate a handful of short
+// std::vectors per call (numerators, weights, prefix products, quotient
+// rows) — per-round malloc traffic that dominates once the field ops
+// themselves are vectorized. An Arena hands out trivially-destructible
+// storage by bumping a pointer into geometrically growing chunks;
+// `ArenaScope` gives stack discipline so nested users (interpolate inside
+// Berlekamp-Welch inside coin_expose) rewind to their caller's high-water
+// mark on exit, and the chunks themselves are reused forever.
+//
+// Lifetime rules (DESIGN.md §14):
+//  * arena memory is valid until the enclosing ArenaScope is destroyed;
+//    never return or stash arena pointers past the scope,
+//  * only trivially-destructible element types (no destructors run),
+//  * the thread-local `scratch_arena()` is single-threaded by
+//    construction — player threads each get their own, so no locking and
+//    no sanitizer noise,
+//  * scopes must nest LIFO (guaranteed by C++ scoping when ArenaScope
+//    lives on the stack).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dprbg {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t initial_bytes = 4096)
+      : initial_bytes_(initial_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  void* allocate(std::size_t bytes, std::size_t align) {
+    DPRBG_CHECK(align != 0 && (align & (align - 1)) == 0);
+    for (;;) {
+      if (chunk_ < chunks_.size()) {
+        Chunk& c = chunks_[chunk_];
+        const std::size_t base =
+            reinterpret_cast<std::uintptr_t>(c.data.get()) + offset_;
+        const std::size_t aligned = (base + align - 1) & ~(align - 1);
+        const std::size_t pad = aligned - base;
+        if (offset_ + pad + bytes <= c.size) {
+          offset_ += pad + bytes;
+          return reinterpret_cast<void*>(aligned);
+        }
+        // Doesn't fit: advance to the next (larger) chunk.
+        ++chunk_;
+        offset_ = 0;
+        continue;
+      }
+      // Grow: each chunk doubles the last, and always fits the request.
+      std::size_t want =
+          chunks_.empty() ? initial_bytes_ : chunks_.back().size * 2;
+      if (want < bytes + align) want = bytes + align;
+      chunks_.push_back(
+          Chunk{std::make_unique<std::uint8_t[]>(want), want});
+    }
+  }
+
+  template <typename T>
+  std::span<T> alloc_span(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>);
+    if (n == 0) return {};
+    T* p = static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+    for (std::size_t i = 0; i < n; ++i) ::new (p + i) T();
+    return {p, n};
+  }
+
+  // Uninitialized variant for buffers the caller fully overwrites.
+  template <typename T>
+  std::span<T> alloc_span_uninit(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T> &&
+                  std::is_trivially_default_constructible_v<T>);
+    if (n == 0) return {};
+    T* p = static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+    return {p, n};
+  }
+
+  // Rewind everything; capacity is retained.
+  void reset() {
+    chunk_ = 0;
+    offset_ = 0;
+  }
+
+  [[nodiscard]] std::size_t capacity() const {
+    std::size_t c = 0;
+    for (const Chunk& ch : chunks_) c += ch.size;
+    return c;
+  }
+
+ private:
+  friend class ArenaScope;
+
+  struct Chunk {
+    std::unique_ptr<std::uint8_t[]> data;
+    std::size_t size;
+  };
+
+  std::size_t initial_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t chunk_ = 0;   // current chunk index
+  std::size_t offset_ = 0;  // bump offset within the current chunk
+};
+
+// RAII high-water mark: allocations made while the scope is alive are
+// released (pointer-rewind, no destructors) when it dies.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena& a)
+      : arena_(a), chunk_(a.chunk_), offset_(a.offset_) {}
+  ~ArenaScope() {
+    arena_.chunk_ = chunk_;
+    arena_.offset_ = offset_;
+  }
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+  Arena& arena() { return arena_; }
+
+ private:
+  Arena& arena_;
+  std::size_t chunk_;
+  std::size_t offset_;
+};
+
+// The per-thread scratch arena the hot paths share. Every user opens an
+// ArenaScope, so the arena's footprint is the high-water mark of the
+// deepest call chain, reused across every round.
+inline Arena& scratch_arena() {
+  thread_local Arena arena(std::size_t{1} << 14);
+  return arena;
+}
+
+// A vector-shaped view over scoped arena memory. Value-initialized (zero
+// for trivial T, T() otherwise). Falls back to a heap vector for types
+// the arena cannot hold (non-trivial destructors), so generic field code
+// can use it unconditionally.
+template <typename T>
+class ScratchVec {
+ public:
+  ScratchVec(ArenaScope& scope, std::size_t n) {
+    if constexpr (std::is_trivially_destructible_v<T>) {
+      span_ = scope.arena().template alloc_span<T>(n);
+    } else {
+      fallback_.resize(n);
+      span_ = fallback_;
+    }
+  }
+
+  [[nodiscard]] T* data() { return span_.data(); }
+  [[nodiscard]] const T* data() const { return span_.data(); }
+  [[nodiscard]] std::size_t size() const { return span_.size(); }
+  T& operator[](std::size_t i) { return span_[i]; }
+  const T& operator[](std::size_t i) const { return span_[i]; }
+  operator std::span<T>() { return span_; }              // NOLINT
+  operator std::span<const T>() const { return span_; }  // NOLINT
+  [[nodiscard]] auto begin() { return span_.begin(); }
+  [[nodiscard]] auto end() { return span_.end(); }
+
+ private:
+  std::span<T> span_;
+  std::vector<T> fallback_;
+};
+
+}  // namespace dprbg

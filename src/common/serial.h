@@ -19,6 +19,12 @@ namespace dprbg {
 class ByteWriter {
  public:
   ByteWriter() = default;
+  // Pre-reserves capacity for payloads whose size is known up front (row
+  // and envelope encoders), so the hot encode paths append without
+  // reallocating.
+  explicit ByteWriter(std::size_t reserve_bytes) {
+    buf_.reserve(reserve_bytes);
+  }
 
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u16(std::uint16_t v) { put_le(v); }

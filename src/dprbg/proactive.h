@@ -107,16 +107,37 @@ RefreshResult<F> proactive_refresh(Io& io,
   }
 
   result.coins.reserve(m);
-  for (unsigned h = 0; h < m; ++h) {
-    SealedCoin<F> refreshed = coins[h];
-    if (refreshed.share.has_value()) {
-      F delta = F::zero();
-      for (int dealer : result.refreshers) {
-        delta = delta + bg.views[dealer].my_row[h + 1];
-      }
-      refreshed.share = *refreshed.share + delta;
+  bool holds_all = true;
+  for (const auto& c : coins) holds_all = holds_all && c.share.has_value();
+  if (holds_all) {
+    // Share-holding players (the common case) sum the refreshers' rows
+    // in one blocked pass; the add count per coin is the same t+1 adds
+    // the scalar loop performs.
+    ArenaScope scope(scratch_arena());
+    ScratchVec<const F*> row_ptrs(scope, result.refreshers.size());
+    for (std::size_t c = 0; c < result.refreshers.size(); ++c) {
+      // Row offset +1 skips the zero-secret blinder at index 0.
+      row_ptrs[c] = bg.views[result.refreshers[c]].my_row.data() + 1;
     }
-    result.coins.push_back(refreshed);
+    ScratchVec<F> delta(scope, m);
+    accumulate_rows_block<F>(row_ptrs, delta);
+    for (unsigned h = 0; h < m; ++h) {
+      SealedCoin<F> refreshed = coins[h];
+      refreshed.share = *refreshed.share + delta[h];
+      result.coins.push_back(refreshed);
+    }
+  } else {
+    for (unsigned h = 0; h < m; ++h) {
+      SealedCoin<F> refreshed = coins[h];
+      if (refreshed.share.has_value()) {
+        F delta = F::zero();
+        for (int dealer : result.refreshers) {
+          delta = delta + bg.views[dealer].my_row[h + 1];
+        }
+        refreshed.share = *refreshed.share + delta;
+      }
+      result.coins.push_back(refreshed);
+    }
   }
   result.success = true;
   return result;
@@ -206,9 +227,12 @@ ReshareResult<F> cross_roster_reshare(Io& io, int n_old, unsigned t_new,
         polys.push_back(
             Polynomial<F>::random_with_secret(*c.share, t_new, io.rng()));
       }
+      ArenaScope scope(scratch_arena());
+      ScratchVec<F> vals(scope, m_total);
       for (int j = 0; j < n_new; ++j) {
-        ByteWriter w;
-        for (const auto& f : polys) write_elem(w, f(eval_point<F>(j)));
+        eval_polys_block<F>(polys, eval_point<F>(j), vals);
+        ByteWriter w(m_total * F::kBytes);
+        for (const F& v : vals) write_elem(w, v);
         io.send(n_old + j, row_tag, std::move(w).take());
       }
     }
@@ -241,12 +265,26 @@ ReshareResult<F> cross_roster_reshare(Io& io, int n_old, unsigned t_new,
   // members receive them too, so both sides agree on the accepted set.
   TraceSpan combine(io, "reshare", "combine");
   if (!old_side) {
-    ByteWriter w;
+    // Blocked Horner combinations over the present dealers' rows, same
+    // wire format and per-row op counts as the scalar loop (bitgen.h has
+    // the same shape).
+    ArenaScope scope(scratch_arena());
+    ScratchVec<const F*> row_ptrs(scope, static_cast<std::size_t>(n_old));
+    std::size_t present = 0;
     for (int dealer = 0; dealer < n_old; ++dealer) {
       const auto& row = rows[static_cast<std::size_t>(dealer)];
-      w.u8(row.empty() ? 0 : 1);
-      write_elem(w,
-                 row.empty() ? F::zero() : batch_combine<F>(row, *r_val));
+      if (!row.empty()) row_ptrs[present++] = row.data();
+    }
+    ScratchVec<F> betas(scope, present);
+    batch_combine_block<F>(
+        std::span<const F* const>(row_ptrs.data(), present), m_total,
+        *r_val, betas);
+    ByteWriter w(static_cast<std::size_t>(n_old) * (1 + F::kBytes));
+    std::size_t next_beta = 0;
+    for (int dealer = 0; dealer < n_old; ++dealer) {
+      const bool have = !rows[static_cast<std::size_t>(dealer)].empty();
+      w.u8(have ? 1 : 0);
+      write_elem(w, have ? betas[next_beta++] : F::zero());
     }
     io.send_all(combo_tag, w.data());
   }

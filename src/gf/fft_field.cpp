@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/metrics.h"
+#include "gf/zq_simd.h"
 
 namespace dprbg {
 
@@ -147,6 +148,21 @@ FftField::FftField(unsigned l, std::uint64_t seed) : l_(l), zq_([&] {
   }
   ntt_size_inv_ = zq_.inv(ntt_size_ % zq_.q());
 
+  // Per-stage dense twiddle tables (header comment): stage s covers
+  // len = 2^(s+1), needing len/2 twiddles w^(j * N/len). These replace
+  // the strided roots[j*step] gathers so each stage is one contiguous
+  // batch-butterfly call per block.
+  for (unsigned len = 2; len <= ntt_size_; len <<= 1) {
+    const unsigned step = ntt_size_ / len;
+    std::vector<std::uint32_t> fwd(len / 2), inv(len / 2);
+    for (unsigned j = 0; j < len / 2; ++j) {
+      fwd[j] = ntt_roots_[j * step];
+      inv[j] = ntt_inv_roots_[j * step];
+    }
+    stage_twiddles_.push_back(std::move(fwd));
+    stage_inv_twiddles_.push_back(std::move(inv));
+  }
+
   // Irreducible modulus of degree l. Prefer a binomial x^l - a: its
   // reduction rows x^(l+i) ≡ a*x^i have a single nonzero coefficient, so
   // reduce() costs O(l) and the end-to-end multiply keeps the paper's
@@ -265,9 +281,10 @@ FftElem FftField::neg(const FftElem& a) const {
   return out;
 }
 
-void FftField::ntt(std::vector<std::uint32_t>& a, bool inverse) const {
+void FftField::ntt(std::span<std::uint32_t> a, bool inverse) const {
+  DPRBG_CHECK(a.size() == ntt_size_);
   const unsigned n = ntt_size_;
-  const auto& roots = inverse ? ntt_inv_roots_ : ntt_roots_;
+  const auto& stages = inverse ? stage_inv_twiddles_ : stage_twiddles_;
   // Bit-reversal permutation.
   for (unsigned i = 1, j = 0; i < n; ++i) {
     unsigned bit = n >> 1;
@@ -275,19 +292,16 @@ void FftField::ntt(std::vector<std::uint32_t>& a, bool inverse) const {
     j ^= bit;
     if (i < j) std::swap(a[i], a[j]);
   }
-  for (unsigned len = 2; len <= n; len <<= 1) {
-    const unsigned step = n / len;
+  unsigned s = 0;
+  for (unsigned len = 2; len <= n; len <<= 1, ++s) {
+    const unsigned half = len / 2;
+    const std::uint32_t* tw = stages[s].data();
     for (unsigned i = 0; i < n; i += len) {
-      for (unsigned j = 0; j < len / 2; ++j) {
-        const std::uint32_t u = a[i + j];
-        const std::uint32_t v = zq_.mul(a[i + j + len / 2], roots[j * step]);
-        a[i + j] = zq_.add(u, v);
-        a[i + j + len / 2] = zq_.sub(u, v);
-      }
+      simd::zq_butterfly(zq_, a.data() + i, a.data() + i + half, tw, half);
     }
   }
   if (inverse) {
-    for (auto& x : a) x = zq_.mul(x, ntt_size_inv_);
+    simd::zq_scale(zq_, a.data(), ntt_size_inv_, a.data(), n);
   }
 }
 
@@ -317,10 +331,10 @@ FftElem FftField::mul_impl(const FftElem& a, const FftElem& b,
       fa[i] = a.c[i];
       fb[i] = b.c[i];
     }
-    ntt(fa, /*inverse=*/false);
-    ntt(fb, /*inverse=*/false);
-    for (unsigned i = 0; i < ntt_size_; ++i) fa[i] = zq_.mul(fa[i], fb[i]);
-    ntt(fa, /*inverse=*/true);
+    ntt(std::span(fa), /*inverse=*/false);
+    ntt(std::span(fb), /*inverse=*/false);
+    simd::zq_mul(zq_, fa.data(), fb.data(), fa.data(), ntt_size_);
+    ntt(std::span(fa), /*inverse=*/true);
   } else {
     fa.assign(2 * l_ - 1, 0);
     for (unsigned i = 0; i < l_; ++i) {
@@ -339,6 +353,16 @@ FftElem FftField::mul(const FftElem& a, const FftElem& b) const {
 
 FftElem FftField::mul_naive(const FftElem& a, const FftElem& b) const {
   return mul_impl(a, b, /*use_ntt=*/false);
+}
+
+void FftField::mul_batch(std::span<const FftElem> a,
+                         std::span<const FftElem> b,
+                         std::span<FftElem> out) const {
+  DPRBG_CHECK(a.size() == b.size() && a.size() == out.size());
+  const bool use_ntt = l_ >= kNttCrossoverL;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = mul_impl(a[i], b[i], use_ntt);
+  }
 }
 
 FftElem FftField::pow(const FftElem& a, std::uint64_t e) const {

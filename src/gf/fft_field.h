@@ -24,6 +24,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "gf/zq.h"
@@ -74,13 +75,39 @@ class FftField {
   [[nodiscard]] FftElem mul(const FftElem& a, const FftElem& b) const;
   // Schoolbook multiplication: O(l^2) operations over Z_q (for E1).
   [[nodiscard]] FftElem mul_naive(const FftElem& a, const FftElem& b) const;
+  // Crossover-dispatched multiplication: schoolbook below kNttCrossoverL,
+  // NTT at or above it. mul() and mul_naive() stay explicit so experiment
+  // E1 can measure both sides of the crossover; production callers that
+  // just want "the fast one" use this.
+  [[nodiscard]] FftElem mul_auto(const FftElem& a, const FftElem& b) const {
+    return mul_impl(a, b, /*use_ntt=*/l_ >= kNttCrossoverL);
+  }
+  // Elementwise out[i] = a[i] * b[i] through the crossover-dispatched
+  // path. The per-stage twiddle tables and NTT scratch stay hot in cache
+  // across the batch, which is where the wide-batch pipeline hands whole
+  // rounds of products at once.
+  void mul_batch(std::span<const FftElem> a, std::span<const FftElem> b,
+                 std::span<FftElem> out) const;
   // Fermat inverse: a^(q^l - 2).
   [[nodiscard]] FftElem inv(const FftElem& a) const;
   [[nodiscard]] FftElem pow(const FftElem& a, std::uint64_t e) const;
 
+  // Smallest l where the NTT multiply beats schoolbook end-to-end,
+  // located by `bench/field_ops --sweep-M` (EXPERIMENTS.md E20):
+  // schoolbook's tight O(l^2) inner loop wins through l = 64 on its
+  // constant factors; from l = 128 up the O(l log l) path is ahead
+  // (1.2x at 128, 3.5x at 256) and the gap widens with l. Matches E1's
+  // crossover at k ~ 1-3 x 10^3 bits (k ~ 31 l).
+  static constexpr unsigned kNttCrossoverL = 128;
+
+  // In-place radix-2 NTT over Z_q; a.size() must equal ntt_size().
+  // Public so the property tests can exercise round-trips and the size
+  // contract directly; butterflies run through the dispatched batch
+  // kernels (gf/zq_simd.h) over per-stage contiguous twiddle tables.
+  void ntt(std::span<std::uint32_t> a, bool inverse) const;
+  [[nodiscard]] unsigned ntt_size() const { return ntt_size_; }
+
  private:
-  // In-place radix-2 NTT of size ntt_size_ over Z_q.
-  void ntt(std::vector<std::uint32_t>& a, bool inverse) const;
   // Reduce a degree <= 2l-2 polynomial modulo f using the x^(l+i) table.
   [[nodiscard]] FftElem reduce(const std::vector<std::uint32_t>& prod) const;
   [[nodiscard]] FftElem mul_impl(const FftElem& a, const FftElem& b,
@@ -97,6 +124,12 @@ class FftField {
   std::vector<std::uint32_t> ntt_roots_;      // forward twiddles
   std::vector<std::uint32_t> ntt_inv_roots_;  // inverse twiddles
   std::uint32_t ntt_size_inv_ = 0;            // 1/N mod q
+  // Per-stage contiguous twiddles: stage_twiddles_[s][j] = w^(j * N/len)
+  // for stage s (len = 2^(s+1)), so each butterfly stage walks a dense
+  // table instead of the strided roots[j*step] gather — the layout the
+  // batch butterfly kernel wants.
+  std::vector<std::vector<std::uint32_t>> stage_twiddles_;
+  std::vector<std::vector<std::uint32_t>> stage_inv_twiddles_;
   // reduction_[i] = x^(l+i) mod f, for i in [0, l-2], stored as sparse
   // (coefficient index, value) pairs — a single pair per row when the
   // modulus is a binomial x^l - a.

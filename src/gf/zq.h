@@ -21,6 +21,10 @@ class Zq {
 
   [[nodiscard]] std::uint32_t q() const { return q_; }
   [[nodiscard]] bool tabulated() const { return !mul_table_.empty(); }
+  // The Barrett reciprocal floor((2^64 - 1) / q). Exposed for the batch
+  // kernels in gf/zq_simd.h, which reduce whole vectors with the same
+  // constant (and therefore produce the same canonical residues).
+  [[nodiscard]] std::uint64_t barrett() const { return barrett_; }
 
   [[nodiscard]] std::uint32_t add(std::uint32_t a, std::uint32_t b) const {
     const std::uint32_t s = a + b;

@@ -266,8 +266,13 @@ void Cluster::ensure_domain_telemetry(StreamDomain& dom) {
 void Cluster::do_exchange(RoundStream& st) {
   // Runs with mu_ held, all roster threads quiescent on this stream.
   // Collect every staged envelope of the stream's members, account
-  // communication, and deliver sorted inboxes.
-  std::vector<std::vector<Msg>> next(n_);
+  // communication, and deliver sorted inboxes. `next` is the cluster's
+  // reused routing scratch; clearing up front also drops any leftovers
+  // admitted last round for members that never joined (the delivery loop
+  // below skips those, exactly as the old fresh-vector code did).
+  std::vector<std::vector<Msg>>& next = exchange_scratch_;
+  next.resize(static_cast<std::size_t>(n_));
+  for (auto& v : next) v.clear();
   const std::uint64_t round = st.exchange_index++;
   const bool trace_on = tracer().enabled();
   const bool tel_on = telemetry_enabled();

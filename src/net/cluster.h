@@ -394,6 +394,11 @@ class Cluster {
   std::uint64_t stale_rejections_ = 0;
   std::uint64_t foreign_rejections_ = 0;
   unsigned round_latency_us_ = 0;
+  // Reused per-exchange routing scratch (guarded by mu_, like every
+  // do_exchange structure): the outer vector survives across exchanges
+  // so routing does not malloc per round. The inner vectors move into
+  // the delivered Inboxes, so only the outer shell is retained.
+  std::vector<std::vector<Msg>> exchange_scratch_;
 
   // Telemetry: barrier-wait histogram (cached under mu_) and the
   // per-player comm levels already published as counters.

@@ -18,16 +18,29 @@
 //    VSS/Bit-Gen/expose interpolation on that grid reuses them. Inputs
 //    off the grid (e.g. Berlekamp-Welch over a share subset under
 //    faults) fall back to the generic path.
+//  * Per-call scratch (numerators, local weights, quotients) lives on
+//    the thread's bump arena (common/arena.h) instead of the heap, so
+//    repeated rounds allocate nothing after warm-up.
+//  * Blocked SoA kernels at the bottom of this header evaluate all M
+//    columns of a round's share matrix in one pass (batch_combine_block,
+//    accumulate_rows_block, interpolate_at_block). The first two replay
+//    the scalar per-row operation sequence exactly — bit-for-bit outputs
+//    AND identical add/mul counts, so the Lemma 2/4/6/8 trace budgets
+//    are untouched (asserted in tests/block_kernels_test.cpp).
 
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <map>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/check.h"
 #include "common/metrics.h"
+#include "common/telemetry.h"
 #include "gf/field_concept.h"
 #include "poly/polynomial.h"
 
@@ -45,10 +58,11 @@ namespace interp_detail {
 // one inv() and 3(n-1) multiplications (prefix products, one inversion
 // of the total, then a backward sweep). All entries must be nonzero.
 template <FiniteField F>
-void batch_invert(std::vector<F>& vals) {
+void batch_invert(std::span<F> vals) {
   const std::size_t n = vals.size();
   if (n == 0) return;
-  std::vector<F> prefix(n);
+  ArenaScope scope(scratch_arena());
+  ScratchVec<F> prefix(scope, n);
   F acc = F::one();
   for (std::size_t i = 0; i < n; ++i) {
     prefix[i] = acc;
@@ -74,7 +88,7 @@ struct GridData {
 // entry; on exit master[k] is the coefficient of x^k).
 template <FiniteField F>
 void build_master(std::span<const PointValue<F>> points,
-                  std::vector<F>& master) {
+                  std::span<F> master) {
   const std::size_t n = points.size();
   master[0] = F::one();
   std::size_t deg = 0;
@@ -89,17 +103,25 @@ void build_master(std::span<const PointValue<F>> points,
   }
 }
 
-// Denominators d_i = prod_{j != i} (x_i - x_j), inverted in one batch.
+// Denominators d_i = prod_{j != i} (x_i - x_j), inverted in one batch,
+// written into caller-provided storage (arena-friendly).
 template <FiniteField F>
-std::vector<F> inverted_weights(std::span<const PointValue<F>> points) {
+void compute_inverted_weights(std::span<const PointValue<F>> points,
+                              std::span<F> w) {
   const std::size_t n = points.size();
-  std::vector<F> w(n, F::one());
   for (std::size_t i = 0; i < n; ++i) {
+    w[i] = F::one();
     for (std::size_t j = 0; j < n; ++j) {
       if (j != i) w[i] = w[i] * (points[i].x - points[j].x);
     }
   }
   batch_invert(w);
+}
+
+template <FiniteField F>
+std::vector<F> inverted_weights(std::span<const PointValue<F>> points) {
+  std::vector<F> w(points.size(), F::one());
+  compute_inverted_weights(points, std::span<F>(w));
   return w;
 }
 
@@ -119,7 +141,7 @@ const GridData<F>* grid_lookup(std::span<const PointValue<F>> points) {
   if (it == cache.end()) {
     GridData<F> data;
     data.master.assign(n + 1, F::zero());
-    build_master(points, data.master);
+    build_master(points, std::span<F>(data.master));
     data.weights = inverted_weights(points);
     it = cache.emplace(n, std::move(data)).first;
   }
@@ -141,29 +163,32 @@ Polynomial<F> lagrange_interpolate(std::span<const PointValue<F>> points) {
   // where w_i = prod_{j != i} (x_i - x_j)^{-1} (barycentric weights).
   const interp_detail::GridData<F>* grid =
       interp_detail::grid_lookup<F>(points);
-  std::vector<F> master_local;
-  std::vector<F> weights_local;
-  const std::vector<F>* master = nullptr;
-  const std::vector<F>* weights = nullptr;
+  ArenaScope scope(scratch_arena());
+  // Local storage must outlive the branch (the arena memory would, but
+  // the ScratchVec's non-trivial-type fallback would not).
+  ScratchVec<F> master_local(scope, grid == nullptr ? n + 1 : 0);
+  ScratchVec<F> weights_local(scope, grid == nullptr ? n : 0);
+  const F* master = nullptr;
+  const F* weights = nullptr;
   if (grid != nullptr) {
-    master = &grid->master;
-    weights = &grid->weights;
+    master = grid->master.data();
+    weights = grid->weights.data();
   } else {
-    master_local.assign(n + 1, F::zero());
-    interp_detail::build_master(points, master_local);
-    weights_local = interp_detail::inverted_weights(points);
-    master = &master_local;
-    weights = &weights_local;
+    interp_detail::build_master(points, std::span<F>(master_local));
+    interp_detail::compute_inverted_weights(points,
+                                            std::span<F>(weights_local));
+    master = master_local.data();
+    weights = weights_local.data();
   }
   std::vector<F> result(n, F::zero());
-  std::vector<F> quotient(n, F::zero());
+  ScratchVec<F> quotient(scope, n);
   for (std::size_t i = 0; i < n; ++i) {
-    const F scale = points[i].y * (*weights)[i];
+    const F scale = points[i].y * weights[i];
     // Synthetic division: quotient = master / (x - x_i).
-    F carry = (*master)[n];
+    F carry = master[n];
     for (std::size_t k = n; k-- > 0;) {
       quotient[k] = carry;
-      carry = (*master)[k] + carry * points[i].x;
+      carry = master[k] + carry * points[i].x;
     }
     // carry is now the remainder master(x_i) = 0 (distinct x's).
     for (std::size_t k = 0; k < n; ++k) {
@@ -185,17 +210,19 @@ F interpolate_at(std::span<const PointValue<F>> points, F target) {
   DPRBG_CHECK(n > 0);
   const interp_detail::GridData<F>* grid =
       interp_detail::grid_lookup<F>(points);
-  std::vector<F> weights_local;
-  const std::vector<F>* weights = nullptr;
+  ArenaScope scope(scratch_arena());
+  ScratchVec<F> weights_local(scope, grid == nullptr ? n : 0);
+  const F* weights = nullptr;
   if (grid != nullptr) {
-    weights = &grid->weights;
+    weights = grid->weights.data();
   } else {
-    weights_local = interp_detail::inverted_weights(points);
-    weights = &weights_local;
+    interp_detail::compute_inverted_weights(points,
+                                            std::span<F>(weights_local));
+    weights = weights_local.data();
   }
   // num_i = prod_{j != i} (target - x_j) = prefix_i * suffix_i. Handles
   // target == x_j too: every other numerator contains the zero factor.
-  std::vector<F> num(n, F::one());
+  ScratchVec<F> num(scope, n);
   F acc = F::one();
   for (std::size_t i = 0; i < n; ++i) {
     num[i] = acc;
@@ -208,9 +235,133 @@ F interpolate_at(std::span<const PointValue<F>> points, F target) {
   }
   F sum = F::zero();
   for (std::size_t i = 0; i < n; ++i) {
-    sum = sum + points[i].y * num[i] * (*weights)[i];
+    sum = sum + points[i].y * num[i] * weights[i];
   }
   return sum;
+}
+
+// ---------------------------------------------------------------------
+// Blocked SoA kernels: evaluate all M columns of a round's share matrix
+// in one pass. See the header comment for the equivalence contract.
+
+namespace interp_detail {
+
+// field_kernel_* telemetry for the generic-field blocked kernels (the
+// Zq-specific kernels in gf/zq_simd.cpp publish under the same names).
+inline void tel_block(const char* op, std::size_t elems) {
+  if (!telemetry_enabled()) return;
+  MetricsRegistry& reg = metrics();
+  const std::string labels = std::string("op=") + op;
+  reg.counter("field_kernel_elems_total", labels).add(elems);
+  reg.histogram("field_kernel_block_len", labels).observe(elems);
+}
+
+}  // namespace interp_detail
+
+// Horner combinations of many rows under one challenge r, all in one
+// blocked pass: out[i] = sum_{j=1..m} rows[i][j-1] * r^j, i.e. exactly
+// batch_combine(rows[i], r) for every row. Rows are register-tiled so a
+// tile's accumulators stay hot while the shared power-of-r walk streams
+// each column once; the per-row operation sequence — (acc + x) * r from
+// j = m-1 down to 0 — is replayed verbatim, so outputs AND add/mul
+// counts are identical to the scalar loop (trace budgets unaffected).
+// Every row must have m elements.
+template <FiniteField F>
+void batch_combine_block(std::span<const F* const> rows, std::size_t m, F r,
+                         std::span<F> out) {
+  DPRBG_CHECK(out.size() == rows.size());
+  interp_detail::tel_block("combine_block", rows.size() * m);
+  constexpr std::size_t kTile = 32;
+  F acc[kTile];
+  for (std::size_t r0 = 0; r0 < rows.size(); r0 += kTile) {
+    const std::size_t tile = std::min(kTile, rows.size() - r0);
+    for (std::size_t t = 0; t < tile; ++t) acc[t] = F::zero();
+    for (std::size_t j = m; j-- > 0;) {
+      for (std::size_t t = 0; t < tile; ++t) {
+        acc[t] = (acc[t] + rows[r0 + t][j]) * r;
+      }
+    }
+    for (std::size_t t = 0; t < tile; ++t) out[r0 + t] = acc[t];
+  }
+}
+
+// Column sums of a set of rows: out[h] += rows[0][h] + rows[1][h] + ...
+// (the Coin-Gen output step's sigma accumulation, Fig. 6's sum over the
+// dealers of S). Per output element the adds happen in row order — the
+// same sequence as the scalar h-outer/j-inner loop — so outputs and add
+// counts match exactly. Every row must have out.size() elements.
+template <FiniteField F>
+void accumulate_rows_block(std::span<const F* const> rows,
+                           std::span<F> out) {
+  interp_detail::tel_block("row_sum", rows.size() * out.size());
+  constexpr std::size_t kTile = 64;
+  const std::size_t m = out.size();
+  for (std::size_t h0 = 0; h0 < m; h0 += kTile) {
+    const std::size_t tile = std::min(kTile, m - h0);
+    for (const F* row : rows) {
+      for (std::size_t t = 0; t < tile; ++t) {
+        out[h0 + t] = out[h0 + t] + row[h0 + t];
+      }
+    }
+  }
+}
+
+// Evaluate, for every column h of an n x m share matrix (rows[i] holds
+// player i's m values), the polynomial interpolating (points[i].x,
+// rows[i][h]) at `target` — m interpolations sharing one set of
+// barycentric weights and one numerator walk. Bit-for-bit equal to m
+// independent interpolate_at calls on the per-column points (the final
+// sum replays interpolate_at's i-order and association); the shared
+// numerators make it ~3x cheaper in multiplications, which is why it is
+// metered separately and used only outside the budget-traced protocol
+// phases. points[i].y is ignored; counted as m interpolations.
+template <FiniteField F>
+void interpolate_at_block(std::span<const PointValue<F>> points,
+                          std::span<const F* const> rows, F target,
+                          std::span<F> out) {
+  const std::size_t n = points.size();
+  const std::size_t m = out.size();
+  DPRBG_CHECK(n > 0 && rows.size() == n);
+  for (std::size_t h = 0; h < m; ++h) count_interpolation();
+  interp_detail::tel_block("interp_block", n * m);
+  const interp_detail::GridData<F>* grid =
+      interp_detail::grid_lookup<F>(points);
+  ArenaScope scope(scratch_arena());
+  ScratchVec<F> weights_local(scope, grid == nullptr ? n : 0);
+  const F* weights = nullptr;
+  if (grid != nullptr) {
+    weights = grid->weights.data();
+  } else {
+    interp_detail::compute_inverted_weights(points,
+                                            std::span<F>(weights_local));
+    weights = weights_local.data();
+  }
+  ScratchVec<F> num(scope, n);
+  F acc = F::one();
+  for (std::size_t i = 0; i < n; ++i) {
+    num[i] = acc;
+    acc = acc * (target - points[i].x);
+  }
+  acc = F::one();
+  for (std::size_t i = n; i-- > 0;) {
+    num[i] = num[i] * acc;
+    acc = acc * (target - points[i].x);
+  }
+  // coeff_i = num_i * w_i, shared by every column.
+  ScratchVec<F> coeff(scope, n);
+  for (std::size_t i = 0; i < n; ++i) coeff[i] = num[i] * weights[i];
+  constexpr std::size_t kTile = 64;
+  for (std::size_t h0 = 0; h0 < m; h0 += kTile) {
+    const std::size_t tile = std::min(kTile, m - h0);
+    for (std::size_t t = 0; t < tile; ++t) out[h0 + t] = F::zero();
+    for (std::size_t i = 0; i < n; ++i) {
+      const F c = coeff[i];
+      const F* row = rows[i];
+      for (std::size_t t = 0; t < tile; ++t) {
+        out[h0 + t] = out[h0 + t] + row[h0 + t] * c;
+      }
+    }
+  }
 }
 
 // Checks whether the given points lie on a single polynomial of degree at

@@ -134,4 +134,42 @@ class Polynomial {
   std::vector<F> coeffs_;
 };
 
+// Evaluate a whole batch of polynomials at one point in a blocked SoA
+// pass: out[j] = polys[j](x). The dealer's distribution step evaluates
+// all M+1 sharing polynomials per recipient; walking them in a register
+// tile keeps the accumulators hot instead of re-running M independent
+// Horner loops. Each polynomial's own Horner sequence (acc = acc*x + c_i
+// from the top coefficient down) is replayed verbatim, so outputs and
+// add/mul counts are identical to calling polys[j](x) in a loop — the
+// trace budgets can't tell the difference (tests/block_kernels_test.cpp
+// asserts both).
+template <FiniteField F>
+void eval_polys_block(std::span<const Polynomial<F>> polys, F x,
+                      std::span<F> out) {
+  DPRBG_CHECK(out.size() == polys.size());
+  constexpr std::size_t kTile = 32;
+  F acc[kTile];
+  for (std::size_t p0 = 0; p0 < polys.size(); p0 += kTile) {
+    const std::size_t tile = std::min(kTile, polys.size() - p0);
+    std::size_t max_len = 0;
+    for (std::size_t t = 0; t < tile; ++t) {
+      acc[t] = F::zero();
+      max_len = std::max(max_len, polys[p0 + t].coeffs().size());
+    }
+    // Polynomials are trimmed, so lengths can be ragged within a tile;
+    // each engages once the column index enters its coefficient range
+    // (a zero accumulator times x plus the top coefficient is exactly
+    // where its own Horner loop starts... except the ops before that
+    // point must not run at all to keep counts identical, hence the
+    // length guard).
+    for (std::size_t j = max_len; j-- > 0;) {
+      for (std::size_t t = 0; t < tile; ++t) {
+        const auto& c = polys[p0 + t].coeffs();
+        if (j < c.size()) acc[t] = acc[t] * x + c[j];
+      }
+    }
+    for (std::size_t t = 0; t < tile; ++t) out[p0 + t] = acc[t];
+  }
+}
+
 }  // namespace dprbg

@@ -31,6 +31,7 @@
 #include <span>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/trace.h"
 #include "gf/field_concept.h"
 #include "gf/field_io.h"
@@ -82,11 +83,12 @@ BatchVssOutcome<F> batch_vss(
     TraceSpan deal(io, "batch-vss", "deal");
     if (io.id() == dealer) {
       DPRBG_CHECK(dealer_polys.size() == expected_m);
+      ArenaScope scope(scratch_arena());
+      ScratchVec<F> vals(scope, expected_m);
       for (int i = 0; i < n; ++i) {
-        ByteWriter w;
-        for (const auto& f : dealer_polys) {
-          write_elem(w, f(eval_point<F>(i)));
-        }
+        eval_polys_block<F>(dealer_polys, eval_point<F>(i), vals);
+        ByteWriter w(expected_m * F::kBytes);
+        for (const F& v : vals) write_elem(w, v);
         io.send(i, share_tag, std::move(w).take());
       }
     }

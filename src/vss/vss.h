@@ -23,7 +23,9 @@
 
 #pragma once
 
+#include <array>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/trace.h"
@@ -69,11 +71,15 @@ VssOutcome<F> vss_share_and_verify(
     TraceSpan deal(io, "vss", "deal");
     if (io.id() == dealer) {
       DPRBG_CHECK(dealer_poly.has_value());
-      const Polynomial<F> g = Polynomial<F>::random(t, io.rng());
+      const std::array<Polynomial<F>, 2> fg{
+          *dealer_poly, Polynomial<F>::random(t, io.rng())};
+      std::array<F, 2> vals;
       for (int i = 0; i < n; ++i) {
-        ByteWriter w;
-        write_elem(w, (*dealer_poly)(eval_point<F>(i)));
-        write_elem(w, g(eval_point<F>(i)));
+        eval_polys_block<F>(std::span<const Polynomial<F>>(fg),
+                            eval_point<F>(i), vals);
+        ByteWriter w(2 * F::kBytes);
+        write_elem(w, vals[0]);
+        write_elem(w, vals[1]);
         io.send(i, share_tag, std::move(w).take());
       }
     }

@@ -140,5 +140,92 @@ TEST(FftFieldTest, DeterministicConstruction) {
   EXPECT_EQ(a.modulus(), b.modulus());
 }
 
+// --- Wide-batch compute engine additions (DESIGN.md §14) ---
+
+// Randomized ring properties of the NTT multiply checked against
+// schoolbook as the independent oracle: associativity and distributivity
+// computed with mul() must equal the same expressions computed with
+// mul_naive().
+TEST_P(FftFieldTest, NttRingPropertiesMatchSchoolbook) {
+  const unsigned l = GetParam();
+  const FftField f(l);
+  Chacha rng(2024 + l);
+  for (int i = 0; i < 20; ++i) {
+    const FftElem a = random_elem(f, rng);
+    const FftElem b = random_elem(f, rng);
+    const FftElem c = random_elem(f, rng);
+    EXPECT_EQ(f.mul(f.mul(a, b), c),
+              f.mul_naive(f.mul_naive(a, b), c));
+    EXPECT_EQ(f.mul(a, f.add(b, c)),
+              f.add(f.mul_naive(a, b), f.mul_naive(a, c)));
+  }
+}
+
+// Forward-then-inverse NTT is the identity, at every supported l (each l
+// exercises a different transform size / twiddle-stage table).
+TEST_P(FftFieldTest, NttRoundTripIsIdentity) {
+  const unsigned l = GetParam();
+  const FftField f(l);
+  Chacha rng(31337 + l);
+  for (int i = 0; i < 10; ++i) {
+    std::vector<std::uint32_t> a(f.ntt_size());
+    for (auto& x : a) x = rng.next_u32() % f.q();
+    const std::vector<std::uint32_t> orig = a;
+    f.ntt(a, /*inverse=*/false);
+    f.ntt(a, /*inverse=*/true);
+    EXPECT_EQ(a, orig) << "l=" << l;
+  }
+}
+
+// mul_auto agrees with both explicit paths on both sides of the
+// crossover (it IS one of them, and the two agree with each other).
+TEST_P(FftFieldTest, MulAutoAgreesWithExplicitPaths) {
+  const unsigned l = GetParam();
+  const FftField f(l);
+  Chacha rng(555 + l);
+  for (int i = 0; i < 20; ++i) {
+    const FftElem a = random_elem(f, rng);
+    const FftElem b = random_elem(f, rng);
+    const FftElem expect = f.mul_naive(a, b);
+    EXPECT_EQ(f.mul_auto(a, b), expect);
+  }
+}
+
+TEST_P(FftFieldTest, MulBatchMatchesElementwise) {
+  const unsigned l = GetParam();
+  const FftField f(l);
+  Chacha rng(777 + l);
+  std::vector<FftElem> a, b;
+  for (int i = 0; i < 33; ++i) {
+    a.push_back(random_elem(f, rng));
+    b.push_back(random_elem(f, rng));
+  }
+  std::vector<FftElem> out(a.size());
+  f.mul_batch(a, b, out);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(out[i], f.mul_auto(a[i], b[i])) << "i=" << i;
+  }
+}
+
+// The transform size contract: ntt() rejects buffers that are not
+// exactly ntt_size() (in particular non-power-of-two sizes).
+TEST(FftFieldDeathTest, NttRejectsWrongSizes) {
+  const FftField f(16);
+  std::vector<std::uint32_t> wrong(f.ntt_size() - 1, 0);
+  EXPECT_DEATH(f.ntt(wrong, false), "DPRBG_CHECK");
+  std::vector<std::uint32_t> odd(f.ntt_size() + 3, 0);
+  EXPECT_DEATH(f.ntt(odd, true), "DPRBG_CHECK");
+  std::vector<std::uint32_t> empty;
+  EXPECT_DEATH(f.ntt(empty, false), "DPRBG_CHECK");
+}
+
+TEST(FftFieldTest, CrossoverConstantIsInTestedRange) {
+  // kNttCrossoverL is a benchmark-derived constant; keep it inside the
+  // range the parameterized suites actually cover so both mul_auto arms
+  // are exercised by the tests above.
+  EXPECT_GE(FftField::kNttCrossoverL, 2u);
+  EXPECT_LE(FftField::kNttCrossoverL, 128u);
+}
+
 }  // namespace
 }  // namespace dprbg

@@ -142,6 +142,43 @@ TEST(Gf2SmallFieldTest, TableAndGenericAgree) {
   }
 }
 
+// Hardware PCLMUL vs the software shift-XOR loop: both must produce the
+// same canonical remainder for every wide field (gf2_clmul.h contract).
+// Skipped (vacuously green) on hosts without PCLMUL or when forced
+// scalar, where mul_raw takes the software path anyway.
+template <unsigned M>
+void clmul_hw_differential(std::uint64_t seed) {
+  if (!gf2_detail::clmul_hw) GTEST_SKIP() << "no hardware PCLMUL path";
+  Chacha rng(seed);
+  const std::uint64_t mask = GF2<M>::kBits == 64
+                                 ? ~std::uint64_t{0}
+                                 : (std::uint64_t{1} << M) - 1;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t a = rng.next_u64() & mask;
+    const std::uint64_t b = rng.next_u64() & mask;
+    const std::uint64_t hw =
+        gf2_detail::clmul_hw_mul(a, b, M, gf2_detail::modulus<M>());
+    const std::uint64_t soft = gf2_detail::clmul_reduce<M>(a, b);
+    ASSERT_EQ(hw, soft) << "M=" << M << " a=" << a << " b=" << b;
+  }
+  // Boundary values: all-ones, single top bit, zero, one.
+  for (std::uint64_t a : {std::uint64_t{0}, std::uint64_t{1}, mask,
+                          std::uint64_t{1} << (M - 1)}) {
+    for (std::uint64_t b : {std::uint64_t{0}, std::uint64_t{1}, mask,
+                            std::uint64_t{1} << (M - 1)}) {
+      ASSERT_EQ(gf2_detail::clmul_hw_mul(a, b, M, gf2_detail::modulus<M>()),
+                (gf2_detail::clmul_reduce<M>(a, b)));
+    }
+  }
+}
+
+TEST(Gf2ClmulHwTest, M24) { clmul_hw_differential<24>(24); }
+TEST(Gf2ClmulHwTest, M32) { clmul_hw_differential<32>(32); }
+TEST(Gf2ClmulHwTest, M40) { clmul_hw_differential<40>(40); }
+TEST(Gf2ClmulHwTest, M48) { clmul_hw_differential<48>(48); }
+TEST(Gf2ClmulHwTest, M56) { clmul_hw_differential<56>(56); }
+TEST(Gf2ClmulHwTest, M64) { clmul_hw_differential<64>(64); }
+
 TEST(Gf2MetricsTest, OperationsAreCounted) {
   const FieldCounters before = field_counters();
   const auto a = GF2_64::from_uint(123);

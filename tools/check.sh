@@ -38,6 +38,41 @@ if echo "$pipeline_out" | grep '"stale"' | grep -qv '"stale": 0'; then
   exit 1
 fi
 
+echo "=== [check] wide-batch kernel gate (zq_simd / block_kernels) ==="
+# The SIMD-vs-scalar differentials in both dispatch modes: once with the
+# runtime dispatcher free to pick AVX2/PCLMUL, once with
+# DPRBG_FORCE_SCALAR=1 pinning every kernel to the portable path. The
+# force-scalar rerun is what certifies the scalar fallback actually runs
+# green on this host, not just that it exists.
+./build/tests/zq_simd_test
+./build/tests/block_kernels_test
+DPRBG_FORCE_SCALAR=1 ./build/tests/zq_simd_test
+DPRBG_FORCE_SCALAR=1 ./build/tests/block_kernels_test
+DPRBG_FORCE_SCALAR=1 ./build/tests/gf2_test
+DPRBG_FORCE_SCALAR=1 ./build/tests/fft_field_test
+
+echo "=== [check] wide-batch M-sweep smoke (bench/pipeline --sweep-M) ==="
+# E20 smoke: at every swept M, depth 1 must match the serial loop
+# bit-for-bit and no envelope may cross batches. The bench exits 1
+# itself on violations; the greps below double-check the markers.
+sweep_out="$(./build/bench/pipeline --json --smoke --sweep-M)"
+echo "$sweep_out"
+if echo "$sweep_out" | grep '"serial_match"' | grep -v '"serial_match": "n/a"' \
+    | grep -qv '"serial_match": "yes"'; then
+  echo "check.sh: M-sweep depth-1 diverged from the serial loop" >&2
+  exit 1
+fi
+if echo "$sweep_out" | grep '"stale"' | grep -qv '"stale": 0'; then
+  echo "check.sh: M-sweep reported cross-batch stale deliveries" >&2
+  exit 1
+fi
+# Kernel-level differential sweep (field_ops --sweep-M asserts
+# SIMD == scalar on every timed buffer and exits 1 on mismatch).
+./build/bench/field_ops --sweep-M --smoke --json >/dev/null || {
+  echo "check.sh: field_ops kernel sweep differential failed" >&2
+  exit 1
+}
+
 echo "=== [check] sharded-beacon smoke (bench/beacon) ==="
 # Smoke run of E17 at K in {1,2}: honest players must agree on every
 # committee's coins ("success": "yes"), no envelope may cross batches
