@@ -186,6 +186,14 @@ bool run_metrics_gate(const std::string& path, unsigned batches,
   check("foreign rejections",
         snap.sum_values("net_foreign_rejections_total"),
         static_cast<std::int64_t>(cluster.foreign_rejections()));
+  check("decode rejections",
+        snap.sum_values("net_decode_rejections_total"),
+        static_cast<std::int64_t>(cluster.decode_rejections()));
+  check("slow envelopes", snap.sum_values("net_slow_envelopes_total"),
+        static_cast<std::int64_t>(cluster.slow_envelopes()));
+  check("banned suppressions",
+        snap.sum_values("net_banned_suppressed_total"),
+        static_cast<std::int64_t>(cluster.banned_suppressions()));
   check("fault effects", snap.sum_values("net_fault_effects_total"),
         static_cast<std::int64_t>(cluster.faults().total()));
   check("domain messages", snap.sum_values("net_domain_messages_total"),

@@ -1,0 +1,8 @@
+// libFuzzer entry point for the canonical varint codec (common/varint.h).
+
+#include "fuzz/fuzz_targets.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return dprbg::fuzz::varint_one(data, size);
+}

@@ -1,0 +1,203 @@
+// Regenerates the checked-in seed corpora under fuzz/corpus/.
+//
+//   make_corpus <corpus-root>
+//
+// Seeds are deterministic: boundary varints, valid and malformed
+// envelope headers of both wire versions, and well-formed protocol
+// bodies for every decoder the dispatching target covers — so the
+// fuzzers start from inputs that already reach the deep accept paths,
+// and the plain-build corpus replay (tests/fuzz_corpus_test.cpp)
+// exercises both accept and reject branches of every decoder.
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzz_targets.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+void write_seed(const fs::path& dir, const std::string& name,
+                const std::vector<std::uint8_t>& bytes) {
+  fs::create_directories(dir);
+  std::ofstream out(dir / name, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+std::vector<std::uint8_t> varint_of(std::uint64_t v) {
+  std::vector<std::uint8_t> out;
+  dprbg::append_varint(out, v);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: make_corpus <corpus-root>\n");
+    return 2;
+  }
+  const fs::path root = argv[1];
+  using dprbg::ByteWriter;
+  using dprbg::EnvelopeHeader;
+  using dprbg::WireVersion;
+
+  // --- varint -------------------------------------------------------------
+  {
+    const fs::path dir = root / "varint";
+    write_seed(dir, "zero", varint_of(0));
+    write_seed(dir, "one_byte_max", varint_of(127));
+    write_seed(dir, "two_byte_min", varint_of(128));
+    write_seed(dir, "boundary_2_14", varint_of((1ull << 14) - 1));
+    write_seed(dir, "boundary_2_32", varint_of(1ull << 32));
+    write_seed(dir, "u64_max", varint_of(~0ull));
+    write_seed(dir, "overlong_zero", {0x80, 0x00});
+    write_seed(dir, "truncated_run", {0xFF, 0xFF, 0xFF});
+    write_seed(dir, "overflow_10_bytes",
+               {0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F});
+    // 8 bytes so the differential direction in the target kicks in.
+    write_seed(dir, "differential", {1, 2, 3, 4, 5, 6, 7, 8});
+  }
+
+  // --- envelope_header ----------------------------------------------------
+  {
+    const fs::path dir = root / "envelope_header";
+    EnvelopeHeader h;
+    h.from = 3;
+    h.tag = dprbg::make_tag(dprbg::ProtoId::kGradeCast, 2, 1);
+    h.batch = 7;
+    h.body_len = 96;
+    for (const WireVersion v : {WireVersion::kV0, WireVersion::kV1}) {
+      ByteWriter w;
+      // The target reads data[0] & 1 as the version selector.
+      w.u8(v == WireVersion::kV1 ? 1 : 0);
+      dprbg::encode_envelope_header(w, h, v);
+      write_seed(dir,
+                 v == WireVersion::kV1 ? "v1_gradecast" : "v0_gradecast",
+                 w.data());
+    }
+    {
+      ByteWriter w;
+      w.u8(1);
+      w.u8(0x17);  // v1 with nonzero reserved flags: must be rejected
+      w.u8(3);
+      write_seed(dir, "v1_bad_flags", w.data());
+    }
+    {
+      ByteWriter w;
+      w.u8(1);
+      w.u8(0x20);  // unknown version nibble
+      write_seed(dir, "v1_bad_version", w.data());
+    }
+    write_seed(dir, "v0_truncated", {0x00, 0x01, 0x02, 0x03});
+    {
+      ByteWriter w;
+      w.u8(1);
+      w.u8(0x10);
+      w.bytes(varint_of(5));
+      w.u8(0x80);  // truncated varint tag
+      write_seed(dir, "v1_truncated_tag", w.data());
+    }
+    // Maximal field values: every header field at its 32-bit ceiling.
+    {
+      EnvelopeHeader big;
+      big.from = 0xFFFFFFFFu;
+      big.tag = 0xFFFFFFFFu;
+      big.batch = 0xFFFFu;
+      big.body_len = 0xFFFFFFFFu;
+      for (const WireVersion v : {WireVersion::kV0, WireVersion::kV1}) {
+        ByteWriter w;
+        w.u8(v == WireVersion::kV1 ? 1 : 0);
+        dprbg::encode_envelope_header(w, big, v);
+        write_seed(dir, v == WireVersion::kV1 ? "v1_max_fields"
+                                              : "v0_max_fields",
+                   w.data());
+      }
+    }
+    // v1 header whose varint `from` overflows 32 bits: must be rejected.
+    {
+      ByteWriter w;
+      w.u8(1);
+      w.u8(0x10);
+      w.bytes(varint_of(0x1FFFFFFFFull));
+      w.bytes(varint_of(1));
+      w.bytes(varint_of(1));
+      w.bytes(varint_of(1));
+      write_seed(dir, "v1_from_overflow", w.data());
+    }
+  }
+
+  // --- protocol_decoders --------------------------------------------------
+  {
+    using F = dprbg::GF2_64;
+    const fs::path dir = root / "protocol_decoders";
+    // data[0] selects the decoder, data[1] parameterizes, rest is body.
+    auto with_prefix = [](std::uint8_t sel, std::uint8_t param,
+                          const std::vector<std::uint8_t>& body) {
+      std::vector<std::uint8_t> out{sel, param};
+      out.insert(out.end(), body.begin(), body.end());
+      return out;
+    };
+    // Grade-Cast echoes, both versions, n == 4 (param 3 -> 1 + 3 % 16).
+    std::vector<dprbg::gradecast_detail::MaybeValue> echoes(4);
+    echoes[0] = std::vector<std::uint8_t>{0xAA, 0xBB};
+    echoes[2] = std::vector<std::uint8_t>{};
+    echoes[3] = std::vector<std::uint8_t>(8, 0x42);
+    write_seed(dir, "echoes_v0",
+               with_prefix(0, 3,
+                           dprbg::gradecast_detail::encode_echoes(
+                               echoes, WireVersion::kV0)));
+    write_seed(dir, "echoes_v1",
+               with_prefix(1, 3,
+                           dprbg::gradecast_detail::encode_echoes(
+                               echoes, WireVersion::kV1)));
+    write_seed(dir, "echoes_v1_short", with_prefix(1, 3, {0, 0, 0}));
+    // Clique message for n == 13, t == 2: two entries of 1 + 3*8 bytes.
+    {
+      ByteWriter w;
+      w.u8(2);
+      for (const std::uint8_t j : {std::uint8_t{1}, std::uint8_t{5}}) {
+        w.u8(j);
+        for (int c = 0; c < 3; ++c) {
+          w.u64(0x0101010101010101ull * (j + 1) + static_cast<unsigned>(c));
+        }
+      }
+      write_seed(dir, "clique_two_entries", with_prefix(2, 0, w.data()));
+    }
+    write_seed(dir, "clique_bad_count", with_prefix(2, 0, {0xFF, 0x00}));
+    // Combo batch for n == 7: exactly 7 * (1 + kBytes) bytes.
+    {
+      std::vector<std::uint8_t> body(7 * (1 + F::kBytes), 0);
+      for (int i = 0; i < 7; ++i) {
+        body[static_cast<std::size_t>(i) * (1 + F::kBytes)] =
+            static_cast<std::uint8_t>(i % 2);
+      }
+      write_seed(dir, "combo_batch_exact", with_prefix(3, 0, body));
+      body.pop_back();
+      write_seed(dir, "combo_batch_short", with_prefix(3, 0, body));
+    }
+    // Field-element row: param 4 -> count 4, body exactly 4 elements.
+    write_seed(dir, "elem_row_exact",
+               with_prefix(4, 4, std::vector<std::uint8_t>(4 * F::kBytes, 7)));
+    // ByteReader torture: u8 + uvarint + u64_vec + bytes.
+    {
+      ByteWriter w;
+      w.u8(0x5A);
+      w.uvarint(300);
+      w.u64_vec(std::vector<std::uint64_t>{1, 2, 3});
+      w.bytes(std::vector<std::uint8_t>(5, 0xEE));
+      write_seed(dir, "reader_mixed", with_prefix(5, 5, w.data()));
+    }
+    write_seed(dir, "reader_hostile_len",
+               with_prefix(5, 64, {0x00, 0x01, 0xFF, 0xFF, 0xFF, 0xFF}));
+  }
+
+  std::printf("corpus written under %s\n", root.string().c_str());
+  return 0;
+}

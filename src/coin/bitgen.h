@@ -178,7 +178,10 @@ BitGenView<F> bit_gen_single(Io& io, int dealer, unsigned m_total,
   TraceSpan decode(io, "bitgen", "decode");
   for (const Msg* m : in.with_tag(combo_tag)) {
     const auto beta = decode_elem_row<F>(m->body, 1);
-    if (!beta) continue;
+    if (!beta) {
+      io.note_decode_failure(m->from);
+      continue;
+    }
     view.combos.emplace(m->from, (*beta)[0]);
   }
   view.poly = bitgen_detail::decode_combination<F>(view.combos, n, t);
@@ -275,7 +278,11 @@ BitGenAllOutcome<F> bit_gen_all(Io& io,
   TraceSpan decode(io, "bitgen", "decode");
   for (const Msg* m : in.with_tag(combo_tag)) {
     const auto batch = bitgen_detail::decode_combo_batch<F>(m->body, n);
-    if (!batch) continue;  // malformed: drop the sender from every instance
+    if (!batch) {
+      // malformed: drop the sender from every instance, and score it
+      io.note_decode_failure(m->from);
+      continue;
+    }
     for (int dealer = 0; dealer < n; ++dealer) {
       if ((*batch)[dealer]) {
         out.views[dealer].combos.emplace(m->from, *(*batch)[dealer]);

@@ -65,7 +65,11 @@ std::optional<F> coin_expose(Io& io, const SealedCoin<F>& coin,
     // Exactly one field element, validated before use; anything else is
     // malformed and drops the sender's point.
     const auto share = decode_elem_row<F>(m->body, 1);
-    if (!share || n_points >= points.size()) continue;
+    if (!share) {
+      io.note_decode_failure(m->from);
+      continue;
+    }
+    if (n_points >= points.size()) continue;
     points[n_points++] = {eval_point<F>(m->from), (*share)[0]};
   }
   if (n_points < coin.degree + 1) {

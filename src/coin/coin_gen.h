@@ -252,6 +252,9 @@ CoinGenResult<F> coin_gen(Io& io, unsigned m, CoinPool<F>& pool,
     std::optional<coin_gen_detail::CliqueMsg<F>> msg;
     if (l >= 0 && gc[l].confidence >= 1) {
       msg = coin_gen_detail::decode_clique_msg<F>(gc[l].value, n, t);
+      // The grade-cast carried a value but it is not a well-formed clique
+      // message: the leader itself authored garbage.
+      if (!msg) io.note_decode_failure(l);
     }
     if (msg && gc[l].confidence == 2 &&                      // (i)
         msg->clique.size() >= clique_min) {                  // (ii)

@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "common/varint.h"
+
 namespace dprbg {
 
 // Append-only little-endian byte writer.
@@ -34,6 +36,9 @@ class ByteWriter {
   void bytes(std::span<const std::uint8_t> b) {
     buf_.insert(buf_.end(), b.begin(), b.end());
   }
+
+  // Canonical unsigned varint (wire v1 integer encoding, common/varint.h).
+  void uvarint(std::uint64_t v) { append_varint(buf_, v); }
 
   // Length-prefixed vector of u64 (the common share-list payload).
   void u64_vec(std::span<const std::uint64_t> v) {
@@ -99,6 +104,20 @@ class ByteReader {
                                   data_.begin() + pos_ + len);
     pos_ += len;
     return out;
+  }
+
+  // Canonical unsigned varint; an overlong, truncated, or overflowing
+  // encoding fails the reader like any other malformed field.
+  std::uint64_t uvarint() {
+    if (!ok_) return 0;
+    const VarintDecode d = read_varint(data_.subspan(pos_));
+    if (!d.ok) {
+      ok_ = false;
+      pos_ = data_.size();
+      return 0;
+    }
+    pos_ += d.bytes;
+    return d.value;
   }
 
   [[nodiscard]] bool ok() const { return ok_; }

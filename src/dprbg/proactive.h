@@ -299,7 +299,11 @@ ReshareResult<F> cross_roster_reshare(Io& io, int n_old, unsigned t_new,
   for (const Msg* msg : in.with_tag(combo_tag)) {
     if (msg->from < n_old) continue;  // only the new roster combines
     const auto batch = bitgen_detail::decode_combo_batch<F>(msg->body, n_old);
-    if (!batch) continue;  // malformed: drop sender from every instance
+    if (!batch) {
+      // malformed: drop sender from every instance, and score it
+      io.note_decode_failure(msg->from);
+      continue;
+    }
     for (int dealer = 0; dealer < n_old; ++dealer) {
       if ((*batch)[dealer]) {
         combos[static_cast<std::size_t>(dealer)].emplace(

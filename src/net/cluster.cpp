@@ -12,11 +12,24 @@ namespace dprbg {
 
 namespace {
 
-// Approximate wire overhead per message (sender id + tag + batch id +
-// length), used for byte accounting only. The batch id is a uint16 on
-// the wire; ids grow monotonically without reuse, so the bound is
-// enforced (DPRBG_CHECK in instance_io) rather than assumed.
-constexpr std::uint64_t kHeaderBytes = 14;
+// Exact wire overhead per message under the active wire version, used
+// for byte accounting. v0 is the historical fixed 14-byte header
+// (kV0HeaderBytes: sender id + tag + batch id + length; batch is a
+// uint16 on the wire — ids grow monotonically without reuse, so the
+// bound is enforced by a DPRBG_CHECK in instance_io rather than
+// assumed). v1 charges the varint-framed header (net/msg.h), which is
+// what the byte-savings rows in bench/field_ops measure.
+std::uint64_t envelope_overhead(int from, std::uint32_t tag,
+                                std::uint32_t batch, std::size_t body_len,
+                                WireVersion v) {
+  if (v == WireVersion::kV0) return kV0HeaderBytes;
+  EnvelopeHeader h;
+  h.from = static_cast<std::uint32_t>(from);
+  h.tag = tag;
+  h.batch = batch;
+  h.body_len = static_cast<std::uint32_t>(body_len);
+  return envelope_header_bytes(h, v);
+}
 
 }  // namespace
 
@@ -36,8 +49,10 @@ void PartyIo::send(int to, std::uint32_t tag,
                    std::vector<std::uint8_t> body) {
   if (to < 0 || to >= cluster_.n()) return;
   if (to != id_) {
+    const std::uint64_t overhead =
+        envelope_overhead(id_, tag, stream_, body.size(), wire_version());
     ++sent_.messages;
-    sent_.bytes += body.size() + kHeaderBytes;
+    sent_.bytes += body.size() + overhead;
     if (tracer().enabled()) {
       // Net events carry the domain-local batch id (global stream minus
       // the domain's base) plus the committee id, matching the ids the
@@ -53,7 +68,7 @@ void PartyIo::send(int to, std::uint32_t tag,
       ev.committee = dom.committee;
       ev.round_begin = ev.round_end = sent_.rounds;
       ev.comm.messages = 1;
-      ev.comm.bytes = body.size() + kHeaderBytes;
+      ev.comm.bytes = body.size() + overhead;
       ev.detail = "to=" + std::to_string(to) +
                   " tag=" + std::to_string(tag);
       tracer().record(std::move(ev));
@@ -78,6 +93,10 @@ const Inbox& PartyIo::sync() {
   cluster_.arrive_and_exchange(*this);
   ++sent_.rounds;
   return inbox_;
+}
+
+void PartyIo::note_decode_failure(int from) {
+  cluster_.note_decode_failure(stream_, id_, from);
 }
 
 Cluster::Cluster(int n, int t, std::uint64_t seed)
@@ -198,7 +217,41 @@ Cluster::DomainLedger Cluster::domain_ledger(std::uint32_t committee) const {
     DPRBG_CHECK(committee == 0);
     dom = &default_domain_;
   }
-  return DomainLedger{dom->faults, dom->stale, dom->foreign};
+  return DomainLedger{dom->faults, dom->stale,  dom->foreign,
+                      dom->decode, dom->slow, dom->banned};
+}
+
+void Cluster::set_misbehavior_manager(std::shared_ptr<MisbehaviorManager> mgr) {
+  std::lock_guard lk(mu_);
+  DPRBG_CHECK(expected_ == 0);  // never while run() is active
+  if (mgr != nullptr) DPRBG_CHECK(mgr->n() == n_);
+  misbehavior_ = std::move(mgr);
+}
+
+void Cluster::note_decode_failure(std::uint32_t stream, int reporter,
+                                  int from) {
+  if (from < 0 || from >= n_ || from == reporter) return;
+  std::lock_guard lk(mu_);
+  StreamDomain& dom = domain_of(stream);
+  ++decode_rejections_;
+  ++dom.decode;
+  if (telemetry_enabled()) {
+    ensure_domain_telemetry(dom);
+    dom.tel_decode->add(1);
+  }
+  if (tracer().enabled()) {
+    // Round stamp: the stream's exchange count (the inbox being decoded
+    // was delivered by the previous exchange).
+    std::uint64_t round = 0;
+    const auto it = streams_.find(stream);
+    if (it != streams_.end()) round = it->second.exchange_index;
+    trace_point("net", "decode_reject", reporter, round,
+                "from=" + std::to_string(from), stream - dom.first_stream,
+                dom.committee);
+  }
+  if (misbehavior_ != nullptr) {
+    misbehavior_->report(from, MisbehaviorSignal::kDecodeFailure);
+  }
 }
 
 void Cluster::set_domain_round_latency_us(std::uint32_t committee, int us) {
@@ -215,8 +268,8 @@ void Cluster::set_domain_round_latency_us(std::uint32_t committee, int us) {
 }
 
 PartyIo& Cluster::instance_io(int player, std::uint32_t batch) {
-  // The wire header encodes the stream id as a uint16 (kHeaderBytes
-  // above); every nonzero-stream envelope is staged via a handle created
+  // The v0 wire header encodes the stream id as a uint16 (kV0HeaderBytes
+  // in net/msg.h); every nonzero-stream envelope is staged via a handle created
   // here, so checking at this choke point enforces the claim for all
   // traffic. Batch ids grow monotonically without reuse (DPrbg never
   // recycles them), so a long-running instance hits this loudly instead
@@ -261,6 +314,9 @@ void Cluster::ensure_domain_telemetry(StreamDomain& dom) {
   dom.tel_stale = &reg.counter("net_stale_rejections_total", l);
   dom.tel_foreign = &reg.counter("net_foreign_rejections_total", l);
   dom.tel_faults = &reg.counter("net_fault_effects_total", l);
+  dom.tel_decode = &reg.counter("net_decode_rejections_total", l);
+  dom.tel_slow = &reg.counter("net_slow_envelopes_total", l);
+  dom.tel_banned = &reg.counter("net_banned_suppressed_total", l);
 }
 
 void Cluster::do_exchange(RoundStream& st) {
@@ -286,6 +342,8 @@ void Cluster::do_exchange(RoundStream& st) {
   // back to the cluster-wide one.
   const FaultInjector* inj =
       dom.injector != nullptr ? dom.injector.get() : injector_.get();
+  MisbehaviorManager* mgr = misbehavior_.get();
+  const WireVersion wv = wire_version();
   // Demux guard shared by delayed and fresh traffic: an envelope may
   // only surface in the stream it was sent on, and only between roster
   // members of the stream's domain. PartyIo stamps Msg::batch, the delay
@@ -297,6 +355,9 @@ void Cluster::do_exchange(RoundStream& st) {
       ++stale_rejections_;
       ++dom.stale;
       if (tel_on) dom.tel_stale->add(1);
+      if (mgr != nullptr) {
+        mgr->report(msg.from, MisbehaviorSignal::kStaleFlood);
+      }
       if (trace_on) {
         trace_point("net", "stale", to, round,
                     "from=" + std::to_string(msg.from) +
@@ -309,8 +370,27 @@ void Cluster::do_exchange(RoundStream& st) {
       ++foreign_rejections_;
       ++dom.foreign;
       if (tel_on) dom.tel_foreign->add(1);
+      if (mgr != nullptr) {
+        mgr->report(msg.from, MisbehaviorSignal::kForeignTraffic);
+      }
       if (trace_on) {
         trace_point("net", "foreign", to, round,
+                    "from=" + std::to_string(msg.from), local_batch,
+                    dom.committee);
+      }
+      return;
+    }
+    // Ban suppression is the last gate before delivery: the envelope has
+    // already been charged to comm and the fault ledgers (so every
+    // reconciliation still balances), it just never reaches an inbox.
+    // Self-deliveries are exempt — a banned peer keeps its loopback.
+    if (mgr != nullptr && to != msg.from && mgr->banned(msg.from)) {
+      ++banned_suppressions_;
+      ++dom.banned;
+      if (tel_on) dom.tel_banned->add(1);
+      mgr->note_suppressed(msg.from);
+      if (trace_on) {
+        trace_point("net", "banned", to, round,
                     "from=" + std::to_string(msg.from), local_batch,
                     dom.committee);
       }
@@ -321,9 +401,21 @@ void Cluster::do_exchange(RoundStream& st) {
   if (inj != nullptr) {
     // Delay-fault arrivals merge in ahead of this round's fresh traffic;
     // the (from, tag) stable sort below interleaves them deterministically.
+    // Each merged envelope is, by construction, at least one round late —
+    // that is the barrier-stall observation the misbehavior layer scores
+    // as kSlowEnvelope, charged to the sender (consistent with the fault
+    // model: delays on a link are attributed to the charged player).
     const auto due = st.delayed.find(round);
     if (due != st.delayed.end()) {
-      for (auto& d : due->second) admit(d.to, std::move(d.msg));
+      for (auto& d : due->second) {
+        ++slow_envelopes_;
+        ++dom.slow;
+        if (tel_on) dom.tel_slow->add(1);
+        if (mgr != nullptr) {
+          mgr->report(d.msg.from, MisbehaviorSignal::kSlowEnvelope);
+        }
+        admit(d.to, std::move(d.msg));
+      }
       st.delayed.erase(due);
     }
   }
@@ -333,7 +425,10 @@ void Cluster::do_exchange(RoundStream& st) {
     for (auto& env : p->staged_buffer()) {
       if (env.to != env.msg.from) {
         ++comm_.messages;
-        comm_.bytes += env.msg.body.size() + kHeaderBytes;
+        comm_.bytes += env.msg.body.size() +
+                       envelope_overhead(env.msg.from, env.msg.tag,
+                                         env.msg.batch, env.msg.body.size(),
+                                         wv);
       }
       if (inj != nullptr && env.to != env.msg.from) {
         // Self-deliveries are not links and are never faulted.

@@ -46,6 +46,7 @@
 #include "common/metrics.h"
 #include "common/telemetry.h"
 #include "net/fault.h"
+#include "net/misbehavior.h"
 #include "net/msg.h"
 #include "rng/chacha.h"
 
@@ -91,6 +92,15 @@ class PartyIo {
 
   // Messages delivered at the last sync().
   [[nodiscard]] const Inbox& inbox() const { return inbox_; }
+
+  // Reports that a message from `from` (delivered on this stream) failed
+  // protocol decoding. Counted per domain (decode_rejections), surfaced
+  // as telemetry, and forwarded to the misbehavior manager as a
+  // kDecodeFailure signal against `from`. Self-reports and out-of-range
+  // senders are ignored. Honest decoders call this at every `if
+  // (!decoded)` drop site, turning what used to be a silent drop into an
+  // attributable event.
+  void note_decode_failure(int from);
 
   // Communication this player has staged so far on this stream
   // (self-deliveries free); `sent().rounds` counts this handle's
@@ -180,6 +190,20 @@ class Cluster {
   // injector).
   [[nodiscard]] const FaultCounters& faults() const { return faults_; }
 
+  // Installs a per-peer misbehavior manager (net/misbehavior.h). The
+  // demux feeds it stale/foreign/slow-envelope signals, decoders feed it
+  // decode failures via PartyIo::note_decode_failure, and envelopes from
+  // a peer the manager has banned are suppressed at admit time (counted
+  // in banned_suppressions and the domain ledgers, never delivered).
+  // Self-deliveries are never suppressed — a banned peer keeps its own
+  // loopback, exactly like a disconnected node still sees itself. Pass
+  // nullptr to disable; must not be called while run() is active. The
+  // manager's n must match the cluster's.
+  void set_misbehavior_manager(std::shared_ptr<MisbehaviorManager> mgr);
+  [[nodiscard]] MisbehaviorManager* misbehavior() const {
+    return misbehavior_.get();
+  }
+
   // -------------------------------------------------------------------
   // Stream domains (committees).
   //
@@ -222,6 +246,9 @@ class Cluster {
     FaultCounters faults;
     std::uint64_t stale = 0;    // stale-tag rejections on this domain
     std::uint64_t foreign = 0;  // foreign-roster rejections on this domain
+    std::uint64_t decode = 0;   // decode failures reported by receivers
+    std::uint64_t slow = 0;     // delay-queue merges (late envelopes)
+    std::uint64_t banned = 0;   // envelopes suppressed from banned peers
   };
   [[nodiscard]] DomainLedger domain_ledger(std::uint32_t committee) const;
   // The committee id owning `stream` (0: default domain).
@@ -261,6 +288,26 @@ class Cluster {
   // misdelivery).
   [[nodiscard]] std::uint64_t stale_rejections() const {
     return stale_rejections_;
+  }
+
+  // Envelopes whose body failed protocol decoding at the receiver
+  // (reported via PartyIo::note_decode_failure). Unlike stale/foreign —
+  // which are demux invariants that must stay 0 — this counts actual
+  // Byzantine (or corrupted) payloads and is nonzero under chaos plans.
+  [[nodiscard]] std::uint64_t decode_rejections() const {
+    return decode_rejections_;
+  }
+  // Envelopes that arrived via the delay queue, i.e. at least one round
+  // later than sent — each is one barrier-stall observation charged to
+  // its sender.
+  [[nodiscard]] std::uint64_t slow_envelopes() const {
+    return slow_envelopes_;
+  }
+  // Envelopes suppressed at admit time because the misbehavior manager
+  // had banned the sender: counted here and in the ledgers, delivered
+  // nowhere.
+  [[nodiscard]] std::uint64_t banned_suppressions() const {
+    return banned_suppressions_;
   }
 
   // Aggregate communication across all players, streams, and run() calls.
@@ -308,6 +355,9 @@ class Cluster {
     // the cluster-wide counters).
     std::uint64_t stale = 0;
     std::uint64_t foreign = 0;
+    std::uint64_t decode = 0;
+    std::uint64_t slow = 0;
+    std::uint64_t banned = 0;
     // Simulated round latency override; -1 inherits the cluster's value.
     int round_latency_us = -1;
     // Cached telemetry counters for this domain, labeled
@@ -320,6 +370,9 @@ class Cluster {
     Counter* tel_stale = nullptr;
     Counter* tel_foreign = nullptr;
     Counter* tel_faults = nullptr;
+    Counter* tel_decode = nullptr;
+    Counter* tel_slow = nullptr;
+    Counter* tel_banned = nullptr;
   };
 
   // One independent lockstep round stream. Streams share the cluster's
@@ -389,10 +442,18 @@ class Cluster {
   FieldCounters field_ops_;
   std::vector<FieldCounters> per_player_field_ops_;
 
+  // Handles a receiver-reported decode failure on `stream` (the locked
+  // half of PartyIo::note_decode_failure).
+  void note_decode_failure(std::uint32_t stream, int reporter, int from);
+
   std::shared_ptr<const FaultInjector> injector_;
+  std::shared_ptr<MisbehaviorManager> misbehavior_;
   FaultCounters faults_;
   std::uint64_t stale_rejections_ = 0;
   std::uint64_t foreign_rejections_ = 0;
+  std::uint64_t decode_rejections_ = 0;
+  std::uint64_t slow_envelopes_ = 0;
+  std::uint64_t banned_suppressions_ = 0;
   unsigned round_latency_us_ = 0;
   // Reused per-exchange routing scratch (guarded by mu_, like every
   // do_exchange structure): the outer vector survives across exchanges

@@ -27,6 +27,11 @@ void Endpoint::send_all(std::uint32_t tag,
   for (int to = 0; to < committee_->n(); ++to) send(to, tag, body);
 }
 
+void Endpoint::note_decode_failure(int from) {
+  if (from < 0 || from >= committee_->n()) return;
+  io_->note_decode_failure(committee_->global_id(from));
+}
+
 const Inbox& Endpoint::sync() {
   io_->sync();
   std::vector<Msg> msgs = io_->take_inbox();

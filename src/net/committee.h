@@ -77,6 +77,11 @@ class Endpoint {
   const Inbox& sync();
   [[nodiscard]] const Inbox& inbox() const { return inbox_; }
 
+  // Reports a decode failure against committee-local sender `from`;
+  // remapped onto the global id and charged to the committee's domain
+  // ledger and misbehavior score (PartyIo::note_decode_failure).
+  void note_decode_failure(int from);
+
   // Accounting of the underlying handle (identical to what a raw PartyIo
   // on the same stream would report).
   [[nodiscard]] const CommCounters& sent() const { return io_->sent(); }

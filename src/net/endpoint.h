@@ -55,6 +55,11 @@ concept NetEndpoint =
       io.send_all(tag, body);
       { io.sync() } -> std::same_as<const Inbox&>;
       { cio.inbox() } -> std::same_as<const Inbox&>;
+      // Misbehavior feedback: report that the last-delivered message from
+      // player `to` (an index in this endpoint's clique) failed protocol
+      // decoding. Transports attribute and score it (net/misbehavior.h);
+      // a no-op transport is a valid model.
+      io.note_decode_failure(to);
       // Accounting: staged communication and completed rounds, as
       // consumed by TraceSpan (common/trace.h).
       { cio.sent() } -> std::same_as<const CommCounters&>;

@@ -1,0 +1,167 @@
+#include "net/misbehavior.h"
+
+#include <string>
+
+#include "common/check.h"
+
+namespace dprbg {
+
+const char* to_string(PeerStanding s) {
+  switch (s) {
+    case PeerStanding::kHealthy: return "healthy";
+    case PeerStanding::kSuspect: return "suspect";
+    case PeerStanding::kBanned: return "banned";
+  }
+  return "?";
+}
+
+const char* to_string(MisbehaviorSignal s) {
+  switch (s) {
+    case MisbehaviorSignal::kDecodeFailure: return "decode_failure";
+    case MisbehaviorSignal::kStaleFlood: return "stale_flood";
+    case MisbehaviorSignal::kForeignTraffic: return "foreign_traffic";
+    case MisbehaviorSignal::kSlowEnvelope: return "slow_envelope";
+  }
+  return "?";
+}
+
+MisbehaviorManager::MisbehaviorManager(int n, MisbehaviorPolicy policy)
+    : n_(n), policy_(policy) {
+  DPRBG_CHECK(n >= 1);
+  DPRBG_CHECK(policy_.suspect_exit <= policy_.suspect_enter);
+  DPRBG_CHECK(policy_.suspect_enter <= policy_.ban_enter);
+  DPRBG_CHECK(policy_.ban_exit <= policy_.ban_enter);
+  peers_.resize(static_cast<std::size_t>(n));
+  banned_flags_ =
+      std::make_unique<std::atomic<std::uint8_t>[]>(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    banned_flags_[static_cast<std::size_t>(i)].store(
+        0, std::memory_order_relaxed);
+  }
+}
+
+void MisbehaviorManager::publish_standing(int peer, PeerState& p) {
+  if (!telemetry_enabled()) return;
+  if (p.tel_standing == nullptr) {
+    p.tel_standing = &metrics().gauge("net_peer_standing",
+                                      "player=" + std::to_string(peer));
+  }
+  p.tel_standing->set(static_cast<std::int64_t>(p.standing));
+}
+
+void MisbehaviorManager::apply_transitions(int peer, PeerState& p,
+                                           bool rising) {
+  const PeerStanding before = p.standing;
+  if (rising) {
+    if (p.standing != PeerStanding::kBanned &&
+        p.score >= policy_.ban_enter) {
+      p.standing = PeerStanding::kBanned;
+      ++p.bans;
+      ++totals_.bans;
+      banned_flags_[static_cast<std::size_t>(peer)].store(
+          1, std::memory_order_relaxed);
+      if (telemetry_enabled()) {
+        if (tel_bans_ == nullptr) {
+          tel_bans_ = &metrics().counter("net_peer_bans_total");
+        }
+        tel_bans_->add(1);
+      }
+    } else if (p.standing == PeerStanding::kHealthy &&
+               p.score >= policy_.suspect_enter) {
+      p.standing = PeerStanding::kSuspect;
+    }
+  } else {
+    if (p.standing == PeerStanding::kBanned && !policy_.permanent_ban &&
+        p.score < policy_.ban_exit) {
+      p.standing = PeerStanding::kSuspect;
+      ++p.unbans;
+      ++totals_.unbans;
+      banned_flags_[static_cast<std::size_t>(peer)].store(
+          0, std::memory_order_relaxed);
+      if (telemetry_enabled()) {
+        if (tel_unbans_ == nullptr) {
+          tel_unbans_ = &metrics().counter("net_peer_unbans_total");
+        }
+        tel_unbans_->add(1);
+      }
+    }
+    if (p.standing == PeerStanding::kSuspect &&
+        p.score < policy_.suspect_exit) {
+      p.standing = PeerStanding::kHealthy;
+    }
+  }
+  if (p.standing != before) publish_standing(peer, p);
+}
+
+void MisbehaviorManager::report(int peer, MisbehaviorSignal sig,
+                                std::uint64_t count) {
+  if (peer < 0 || peer >= n_ || count == 0) return;
+  std::lock_guard lk(mu_);
+  PeerState& p = peers_[static_cast<std::size_t>(peer)];
+  const auto s = static_cast<std::size_t>(sig);
+  p.reports[s] += count;
+  totals_.reports += count;
+  p.score += policy_.weight(sig) * count;
+  if (telemetry_enabled()) {
+    if (tel_reports_[s] == nullptr) {
+      tel_reports_[s] = &metrics().counter(
+          "net_misbehavior_reports_total",
+          std::string("signal=") + to_string(sig));
+    }
+    tel_reports_[s]->add(count);
+  }
+  apply_transitions(peer, p, /*rising=*/true);
+}
+
+void MisbehaviorManager::tick(std::uint64_t ticks) {
+  if (ticks == 0 || policy_.decay_per_tick == 0) return;
+  std::lock_guard lk(mu_);
+  const std::uint64_t decay = policy_.decay_per_tick * ticks;
+  for (int i = 0; i < n_; ++i) {
+    PeerState& p = peers_[static_cast<std::size_t>(i)];
+    p.score = p.score > decay ? p.score - decay : 0;
+    apply_transitions(i, p, /*rising=*/false);
+  }
+}
+
+std::uint64_t MisbehaviorManager::score(int peer) const {
+  if (peer < 0 || peer >= n_) return 0;
+  std::lock_guard lk(mu_);
+  return peers_[static_cast<std::size_t>(peer)].score;
+}
+
+PeerStanding MisbehaviorManager::standing(int peer) const {
+  if (peer < 0 || peer >= n_) return PeerStanding::kHealthy;
+  std::lock_guard lk(mu_);
+  return peers_[static_cast<std::size_t>(peer)].standing;
+}
+
+void MisbehaviorManager::note_suppressed(int peer, std::uint64_t count) {
+  if (peer < 0 || peer >= n_ || count == 0) return;
+  std::lock_guard lk(mu_);
+  peers_[static_cast<std::size_t>(peer)].suppressed += count;
+  totals_.suppressed += count;
+}
+
+MisbehaviorManager::PeerSnapshot MisbehaviorManager::peer(int peer) const {
+  PeerSnapshot out;
+  if (peer < 0 || peer >= n_) return out;
+  std::lock_guard lk(mu_);
+  const PeerState& p = peers_[static_cast<std::size_t>(peer)];
+  out.score = p.score;
+  out.standing = p.standing;
+  for (std::size_t s = 0; s < kMisbehaviorSignals; ++s) {
+    out.reports[s] = p.reports[s];
+  }
+  out.suppressed = p.suppressed;
+  out.bans = p.bans;
+  out.unbans = p.unbans;
+  return out;
+}
+
+MisbehaviorManager::Totals MisbehaviorManager::totals() const {
+  std::lock_guard lk(mu_);
+  return totals_;
+}
+
+}  // namespace dprbg

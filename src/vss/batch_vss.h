@@ -129,7 +129,10 @@ BatchVssOutcome<F> batch_vss(
   std::vector<PointValue<F>> points;
   for (const Msg* m : in.with_tag(combo_tag)) {
     const auto beta = decode_elem_row<F>(m->body, 1);
-    if (!beta) continue;
+    if (!beta) {
+      io.note_decode_failure(m->from);
+      continue;
+    }
     points.push_back({eval_point<F>(m->from), (*beta)[0]});
   }
   if (points.size() < static_cast<std::size_t>(n - static_cast<int>(t))) {

@@ -1,0 +1,222 @@
+// Stalling-peer DoS scenario: a hostage peer holds round barriers
+// hostage (every envelope it stages is a round late) while spraying junk
+// on app and coin-protocol tags. The misbehavior layer must (a) detect
+// the stall via kSlowEnvelope signals, (b) ban the peer before the coin
+// protocol starts, and (c) suppress its traffic so thoroughly that the
+// survivors' Coin-Gen/Coin-Expose outputs are bit-for-bit equal to a
+// from-scratch run in which the same peer simply crashed — banning a
+// live hostile peer and losing a crashed one must be indistinguishable
+// to every honest player.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "chaos_util.h"
+#include "coin/coin_expose.h"
+#include "coin/coin_gen.h"
+#include "dprbg/coin_pool.h"
+#include "dprbg/trusted_dealer.h"
+#include "gf/gf2.h"
+#include "net/cluster.h"
+#include "net/fault.h"
+#include "net/misbehavior.h"
+#include "net/msg.h"
+
+namespace dprbg {
+namespace {
+
+using F = GF2_64;
+
+constexpr int kN = 7, kT = 1, kHostage = 3;
+constexpr int kPreRounds = 4;   // app heartbeats before the coin phase
+constexpr unsigned kCoins = 2;  // coins generated + exposed per run
+constexpr std::uint64_t kSeed = 0x6005;
+
+constexpr std::uint32_t kHeartbeatTag = make_tag(ProtoId::kApp, 0, 0);
+// The hostage sprays junk on an app tag AND on a tag colliding with
+// Coin-Gen's namespace — traffic that would hit honest decoders if the
+// ban did not suppress it.
+constexpr std::uint32_t kJunkTags[] = {
+    make_tag(ProtoId::kApp, 1, 0),
+    make_tag(ProtoId::kCoinGen, 0, 0),
+};
+constexpr int kJunkTagCount = 2;
+
+// Aggressive policy for the scenario: a slow envelope costs 25, a dozen
+// of them (one stalled round's worth of spray) reaches ban_enter — the
+// ban lands during the heartbeat phase, well before Coin-Gen starts.
+MisbehaviorPolicy stall_policy() {
+  MisbehaviorPolicy p;
+  p.slow_weight = 25;
+  p.suspect_enter = 50;
+  p.suspect_exit = 25;
+  p.ban_enter = 300;
+  p.ban_exit = 150;
+  p.decay_per_tick = 0;
+  p.permanent_ban = true;
+  return p;
+}
+
+struct CoinRun {
+  std::vector<CoinGenResult<F>> results;             // per player
+  std::vector<std::vector<std::optional<F>>> coins;  // [player][coin]
+};
+
+// The honest program both runs share: heartbeat rounds whose inbox
+// contents are deliberately ignored, then Coin-Gen + Coin-Expose.
+Cluster::Program honest_program(
+    const std::vector<std::vector<SealedCoin<F>>>& genesis, CoinRun& run) {
+  return [&genesis, &run](PartyIo& io) {
+    for (int r = 0; r < kPreRounds; ++r) {
+      io.send_all(kHeartbeatTag, {static_cast<std::uint8_t>(r)});
+      io.sync();
+    }
+    CoinPool<F> pool;
+    for (const auto& c : genesis[static_cast<std::size_t>(io.id())]) {
+      pool.add(c);
+    }
+    const auto result = coin_gen<F>(io, kCoins, pool);
+    run.results[static_cast<std::size_t>(io.id())] = result;
+    if (!result.success) return;
+    const auto sealed = result.sealed_coins(static_cast<unsigned>(io.t()));
+    for (unsigned h = 0; h < kCoins; ++h) {
+      run.coins[static_cast<std::size_t>(io.id())].push_back(
+          coin_expose<F>(io, sealed[h], /*instance=*/100 + h));
+    }
+  };
+}
+
+// Run B: from-scratch baseline — same seed, same honest program, but the
+// hostage simply crashes (never sends) and there is no injector and no
+// misbehavior manager at all.
+CoinRun run_with_crash() {
+  const auto genesis = trusted_dealer_coins<F>(kN, kT, /*coins=*/8, kSeed);
+  CoinRun run;
+  run.results.resize(kN);
+  run.coins.assign(kN, {});
+  Cluster cluster(kN, kT, kSeed);
+  cluster.run(honest_program(genesis, run), {kHostage},
+              /*adversary=*/nullptr);
+  return run;
+}
+
+TEST(DosStallTest, StallingPeerIsDetectedBannedAndNeutralized) {
+  auto mgr = std::make_shared<MisbehaviorManager>(kN, stall_policy());
+
+  const auto genesis = trusted_dealer_coins<F>(kN, kT, /*coins=*/8, kSeed);
+  CoinRun hostage_run;
+  hostage_run.results.resize(kN);
+  hostage_run.coins.assign(kN, {});
+
+  Cluster cluster(kN, kT, kSeed);
+  cluster.set_fault_injector(std::make_shared<FaultInjector>(
+      chaos::slow_drip_plan(kHostage, kN, kPreRounds, /*delay=*/1)));
+  cluster.set_misbehavior_manager(mgr);
+
+  const Cluster::Program adversary = [](PartyIo& io) {
+    for (int r = 0; r < kPreRounds + 40; ++r) {
+      for (const std::uint32_t tag : kJunkTags) {
+        io.send_all(tag, {0xDE, 0xAD, 0xBE, 0xEF});
+      }
+      io.sync();
+    }
+  };
+  cluster.run(honest_program(genesis, hostage_run), {kHostage}, adversary);
+
+  // (a) The stall was detected: every delayed envelope from the
+  // heartbeat phase merged late and was charged to the hostage.
+  // kPreRounds rounds x (kN - 1) victims x kJunkTagCount tags.
+  const std::uint64_t expect_slow = static_cast<std::uint64_t>(kPreRounds) *
+                                    (kN - 1) * kJunkTagCount;
+  EXPECT_EQ(cluster.slow_envelopes(), expect_slow);
+  EXPECT_EQ(cluster.faults().delayed, expect_slow);
+  const auto snap = mgr->peer(kHostage);
+  EXPECT_EQ(snap.reports[static_cast<int>(MisbehaviorSignal::kSlowEnvelope)],
+            expect_slow);
+
+  // (b) Banned — permanently, exactly once, before the coin phase could
+  // be held hostage. Everyone else stays healthy.
+  EXPECT_TRUE(mgr->banned(kHostage));
+  EXPECT_EQ(mgr->standing(kHostage), PeerStanding::kBanned);
+  EXPECT_EQ(snap.bans, 1u);
+  EXPECT_EQ(snap.unbans, 0u);
+  for (int p = 0; p < kN; ++p) {
+    if (p == kHostage) continue;
+    EXPECT_EQ(mgr->standing(p), PeerStanding::kHealthy) << "player " << p;
+    EXPECT_EQ(mgr->score(p), 0u) << "player " << p;
+  }
+
+  // (c) The junk spray was suppressed, and every ledger agrees on how
+  // much: cluster counter == domain ledger == the manager's own count.
+  EXPECT_GT(cluster.banned_suppressions(), 0u);
+  EXPECT_EQ(cluster.domain_ledger(0).banned, cluster.banned_suppressions());
+  EXPECT_EQ(mgr->totals().suppressed, cluster.banned_suppressions());
+  EXPECT_EQ(snap.suppressed, cluster.banned_suppressions());
+
+  // (d) Survivors succeeded despite the hostage.
+  for (int p = 0; p < kN; ++p) {
+    if (p == kHostage) continue;
+    ASSERT_TRUE(hostage_run.results[static_cast<std::size_t>(p)].success)
+        << "player " << p;
+    ASSERT_EQ(hostage_run.coins[static_cast<std::size_t>(p)].size(), kCoins);
+  }
+
+  // (e) Eviction invariance: banning the live hostile peer must be
+  // bit-for-bit indistinguishable (to every honest player) from that
+  // peer having crashed before sending anything — same clique, same
+  // summed dealer set, same exposed coin values.
+  const CoinRun crash_run = run_with_crash();
+  for (int p = 0; p < kN; ++p) {
+    if (p == kHostage) continue;
+    const auto& a = hostage_run.results[static_cast<std::size_t>(p)];
+    const auto& b = crash_run.results[static_cast<std::size_t>(p)];
+    ASSERT_TRUE(b.success) << "player " << p;
+    EXPECT_EQ(a.clique, b.clique) << "player " << p;
+    EXPECT_EQ(a.summed_dealers, b.summed_dealers) << "player " << p;
+    EXPECT_EQ(a.iterations, b.iterations) << "player " << p;
+    for (unsigned h = 0; h < kCoins; ++h) {
+      const auto& ca = hostage_run.coins[static_cast<std::size_t>(p)][h];
+      const auto& cb = crash_run.coins[static_cast<std::size_t>(p)][h];
+      ASSERT_TRUE(ca.has_value()) << "player " << p << " coin " << h;
+      ASSERT_TRUE(cb.has_value()) << "player " << p << " coin " << h;
+      EXPECT_EQ(*ca, *cb) << "player " << p << " coin " << h;
+    }
+  }
+
+  // The banned clique never contains the hostage.
+  for (int p = 0; p < kN; ++p) {
+    if (p == kHostage) continue;
+    for (const int member :
+         hostage_run.results[static_cast<std::size_t>(p)].clique) {
+      EXPECT_NE(member, kHostage);
+    }
+  }
+}
+
+// Control: the same stall plan WITHOUT a misbehavior manager still
+// completes (the paper's own fault tolerance covers it) — the manager is
+// an availability hardening, not a correctness crutch. This pins the
+// contract that installing the manager never becomes load-bearing for
+// liveness in the benign case.
+TEST(DosStallTest, ScenarioAlsoCompletesWithoutManager) {
+  const auto genesis = trusted_dealer_coins<F>(kN, kT, /*coins=*/8, kSeed);
+  CoinRun run;
+  run.results.resize(kN);
+  run.coins.assign(kN, {});
+  Cluster cluster(kN, kT, kSeed);
+  cluster.run(honest_program(genesis, run), {kHostage},
+              /*adversary=*/nullptr);
+  for (int p = 0; p < kN; ++p) {
+    if (p == kHostage) continue;
+    EXPECT_TRUE(run.results[static_cast<std::size_t>(p)].success);
+  }
+  EXPECT_EQ(cluster.slow_envelopes(), 0u);
+  EXPECT_EQ(cluster.banned_suppressions(), 0u);
+}
+
+}  // namespace
+}  // namespace dprbg

@@ -16,6 +16,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -27,6 +28,8 @@
 #include "dprbg/trusted_dealer.h"
 #include "gf/gf2.h"
 #include "net/cluster.h"
+#include "net/fault.h"
+#include "net/misbehavior.h"
 
 namespace dprbg {
 namespace {
@@ -344,6 +347,64 @@ TEST_F(TelemetryTest, EnabledClusterRunReconcilesWithClusterLedgers) {
   const MetricSample* wait = snap.find("net_barrier_wait_us");
   ASSERT_NE(wait, nullptr);
   EXPECT_GT(wait->count, 0u);
+}
+
+TEST_F(TelemetryTest, MisbehaviorCountersReconcileWithClusterAndManager) {
+  set_telemetry_enabled(true);
+  const int n = 4, rounds = 3;
+  auto mgr = std::make_shared<MisbehaviorManager>(n);
+  // Pre-ban player 2 so the run also exercises the suppression counter.
+  mgr->report(2, MisbehaviorSignal::kForeignTraffic, 10);
+  ASSERT_TRUE(mgr->banned(2));
+
+  FaultPlan plan;
+  plan.charge(1);
+  plan.add(/*round=*/0, /*from=*/1, /*to=*/0, {FaultAction::kDelay, 1});
+  plan.add(/*round=*/1, /*from=*/1, /*to=*/3, {FaultAction::kDelay, 1});
+
+  Cluster cluster(n, 1, /*seed=*/33);
+  cluster.set_fault_injector(
+      std::make_shared<FaultInjector>(std::move(plan)));
+  cluster.set_misbehavior_manager(mgr);
+  cluster.run(std::vector<Cluster::Program>(n, [&](PartyIo& io) {
+    for (int r = 0; r < rounds; ++r) {
+      io.send_all(make_tag(ProtoId::kApp, 0, r), {7, 7});
+      io.sync();
+      // Everyone rejects player 0's body: what used to be a silent drop
+      // is now an attributable, counted event.
+      if (io.id() != 0) io.note_decode_failure(0);
+    }
+  }));
+
+  // Every new counter reconciles three ways: telemetry snapshot ==
+  // cluster ledger == domain ledger (and the manager's own totals).
+  const MetricsSnapshot snap = metrics().snapshot();
+  const Cluster::DomainLedger ledger = cluster.domain_ledger(0);
+  EXPECT_EQ(cluster.decode_rejections(),
+            static_cast<std::uint64_t>(n - 1) * rounds);
+  EXPECT_EQ(snap.sum_values("net_decode_rejections_total"),
+            static_cast<std::int64_t>(cluster.decode_rejections()));
+  EXPECT_EQ(ledger.decode, cluster.decode_rejections());
+  EXPECT_EQ(cluster.slow_envelopes(), 2u);
+  EXPECT_EQ(snap.sum_values("net_slow_envelopes_total"),
+            static_cast<std::int64_t>(cluster.slow_envelopes()));
+  EXPECT_EQ(ledger.slow, cluster.slow_envelopes());
+  EXPECT_GT(cluster.banned_suppressions(), 0u);
+  EXPECT_EQ(snap.sum_values("net_banned_suppressed_total"),
+            static_cast<std::int64_t>(cluster.banned_suppressions()));
+  EXPECT_EQ(ledger.banned, cluster.banned_suppressions());
+
+  // Manager-side instruments: per-signal report counters, ban counter,
+  // and the per-peer standing gauge.
+  EXPECT_EQ(snap.sum_values("net_misbehavior_reports_total"),
+            static_cast<std::int64_t>(mgr->totals().reports));
+  EXPECT_EQ(snap.sum_values("net_peer_bans_total"),
+            static_cast<std::int64_t>(mgr->totals().bans));
+  const MetricSample* standing =
+      snap.find("net_peer_standing", "player=2");
+  ASSERT_NE(standing, nullptr);
+  EXPECT_EQ(standing->value,
+            static_cast<std::int64_t>(PeerStanding::kBanned));
 }
 
 TEST_F(TelemetryTest, BeaconStatusDistillsHealthBoard) {

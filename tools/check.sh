@@ -110,6 +110,16 @@ echo "$degraded_out" | grep -q '"mode": "crashed".*"evicted": "yes"' || {
 echo "=== [check] beacon failover chaos suite ==="
 ./build/tests/chaos_beacon_test
 
+echo "=== [check] adversarial hardening suite (misbehavior / DoS / wire) ==="
+# The stalling-peer DoS scenario (hostage detected, scored, banned;
+# survivors bit-for-bit equal to a from-scratch run) plus the wire
+# versioning and varint codec suites in the plain build. All four run
+# again under the sanitizer matrix via ctest.
+./build/tests/misbehavior_test
+./build/tests/dos_stall_test
+./build/tests/wire_format_test
+./build/tests/varint_test
+
 echo "=== [check] telemetry reconciliation gate ==="
 # The telemetry unit suite (enable/disable identity, bucket math, the
 # 8-thread hammer — the sanitizer matrix reruns it under TSan), then
@@ -138,8 +148,23 @@ trap 'rm -rf "$metrics_dir"' EXIT
 if [[ "$mode" == "full" ]]; then
   echo "=== [check] sanitizer matrix ==="
   tools/sanitize.sh all
+
+  echo "=== [check] fuzz smoke (60s per target under ASan+UBSan) ==="
+  # sanitize.sh configured build-san-asan with -DDPRBG_FUZZ=ON, so the
+  # fuzz binaries there are address+UB instrumented. Each target replays
+  # its checked-in corpus and then mutates from it for the smoke budget;
+  # any trap/sanitizer report is a hard failure. Under clang this is
+  # coverage-guided libFuzzer; under gcc the standalone driver honors
+  # the same flags.
+  for target in fuzz_varint fuzz_envelope_header fuzz_protocol_decoders; do
+    corpus="fuzz/corpus/${target#fuzz_}"
+    ./build-san-asan/fuzz/"$target" -max_total_time=60 -seed=1 "$corpus" || {
+      echo "check.sh: fuzz smoke failed for $target" >&2
+      exit 1
+    }
+  done
 else
-  echo "=== [check] fast mode: sanitizer matrix skipped ==="
+  echo "=== [check] fast mode: sanitizer matrix + fuzz smoke skipped ==="
 fi
 
 echo "check.sh: all requested gates passed"

@@ -16,7 +16,11 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 run_suite() {
   local name="$1" sanitizers="$2" dir="build-san-$1"
   echo "=== [$name] configure + build ($sanitizers) ==="
-  cmake -B "$dir" -S . -DDPRBG_SANITIZE="$sanitizers" >/dev/null
+  # -DDPRBG_FUZZ=ON: the fuzz targets build (and run via
+  # fuzz_corpus_test) under every sanitizer mix, so the check.sh fuzz
+  # smoke gate has instrumented binaries ready in build-san-asan.
+  cmake -B "$dir" -S . -DDPRBG_SANITIZE="$sanitizers" -DDPRBG_FUZZ=ON \
+    >/dev/null
   cmake --build "$dir" -j "$jobs"
   echo "=== [$name] ctest ==="
   (cd "$dir" && ctest --output-on-failure -j "$jobs")
